@@ -1,0 +1,182 @@
+(* Command-line driver for ad-hoc experiments on the hash tables:
+
+     nbhash_cli run   --table LFArray --threads 4 --range 16 --lookup 0.9
+     nbhash_cli sweep --threads 1,2,4 --range 16 --lookup 0.34
+     nbhash_cli list
+
+   `run` measures one configuration; `sweep` prints one row per
+   implementation across a list of thread counts; `list` names the
+   available implementations. *)
+
+open Cmdliner
+module Factory = Nbhash_workload.Factory
+module Runner = Nbhash_workload.Runner
+module Workload = Nbhash_workload.Workload
+module Report = Nbhash_workload.Report
+module Policy = Nbhash.Policy
+
+let table_names = List.map fst Factory.with_michael
+
+let policy_of ~presized ~key_range name =
+  if presized || name = "SplitOrder" || name = "Michael" then
+    Policy.presized (max 64 (key_range / 2))
+  else { Policy.default with init_buckets = 64 }
+
+let range_arg =
+  let doc = "Key range exponent: keys are drawn from [0, 2^$(docv))." in
+  Arg.(value & opt int 16 & info [ "range" ] ~docv:"BITS" ~doc)
+
+let lookup_arg =
+  let doc = "Lookup ratio in [0,1]; inserts and removes split the rest." in
+  Arg.(value & opt float 0.34 & info [ "lookup" ] ~docv:"L" ~doc)
+
+let duration_arg =
+  let doc = "Seconds per measurement." in
+  Arg.(value & opt float 1.0 & info [ "duration" ] ~docv:"SEC" ~doc)
+
+let trials_arg =
+  let doc = "Trials per configuration (median-of reported)." in
+  Arg.(value & opt int 3 & info [ "trials" ] ~docv:"N" ~doc)
+
+let presized_arg =
+  let doc = "Disable dynamic resizing and presize every table." in
+  Arg.(value & flag & info [ "presized" ] ~doc)
+
+let seed_arg =
+  let doc = "Base PRNG seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let threads_list_arg =
+  let doc = "Comma-separated thread counts." in
+  Arg.(value & opt (list int) [ 1; 2; 4 ] & info [ "threads" ] ~docv:"T,..." ~doc)
+
+let table_arg =
+  let doc =
+    Printf.sprintf "Implementation to drive; one of %s."
+      (String.concat ", " table_names)
+  in
+  Arg.(value & opt string "LFArray" & info [ "table" ] ~docv:"NAME" ~doc)
+
+let validate_table name =
+  if not (List.mem name table_names) then begin
+    Printf.eprintf "unknown table %S; known: %s\n" name
+      (String.concat ", " table_names);
+    exit 1
+  end
+
+let measure name ~threads ~range_bits ~lookup ~duration ~trials ~presized
+    ~seed =
+  let key_range = 1 lsl range_bits in
+  let spec = Workload.spec ~lookup_ratio:lookup ~key_range () in
+  let make () =
+    (Factory.by_name name)
+      ~policy:(policy_of ~presized ~key_range name)
+      ~max_threads:(threads + 2) ()
+  in
+  ignore seed;
+  Runner.run_trials make ~threads ~spec ~duration ~trials
+
+let run_cmd =
+  let run table threads_list range_bits lookup duration trials presized seed =
+    validate_table table;
+    List.iter
+      (fun threads ->
+        let last, summary =
+          measure table ~threads ~range_bits ~lookup ~duration ~trials
+            ~presized ~seed
+        in
+        Printf.printf
+          "%s T=%d range=2^%d L=%.0f%%: %.3f ops/usec (median %.3f, sd %.3f) \
+           buckets=%d cardinal=%d\n"
+          table threads range_bits (lookup *. 100.)
+          summary.Nbhash_util.Stats.mean summary.Nbhash_util.Stats.median
+          summary.Nbhash_util.Stats.stddev last.Runner.final_buckets
+          last.Runner.final_cardinal)
+      threads_list
+  in
+  let term =
+    Term.(
+      const run $ table_arg $ threads_list_arg $ range_arg $ lookup_arg
+      $ duration_arg $ trials_arg $ presized_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Measure one implementation.") term
+
+let sweep_cmd =
+  let sweep threads_list range_bits lookup duration trials presized seed =
+    let header =
+      "algorithm" :: List.map (Printf.sprintf "T=%d") threads_list
+    in
+    let rows =
+      List.map
+        (fun name ->
+          name
+          :: List.map
+               (fun threads ->
+                 let _, summary =
+                   measure name ~threads ~range_bits ~lookup ~duration ~trials
+                     ~presized ~seed
+                 in
+                 Report.ops_per_usec summary.Nbhash_util.Stats.median)
+               threads_list)
+        table_names
+    in
+    Printf.printf "range=2^%d L=%.0f%% [ops/usec, median of %d]\n" range_bits
+      (lookup *. 100.) trials;
+    Report.print_table ~header ~rows
+  in
+  let term =
+    Term.(
+      const sweep $ threads_list_arg $ range_arg $ lookup_arg $ duration_arg
+      $ trials_arg $ presized_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Compare all implementations.") term
+
+let hist_cmd =
+  (* Populate one table and print its bucket-occupancy histogram: how
+     well the policy is spreading keys. *)
+  let hist table range_bits lookup presized seed =
+    validate_table table;
+    let key_range = 1 lsl range_bits in
+    let spec = Workload.spec ~lookup_ratio:lookup ~key_range () in
+    let t =
+      (Factory.by_name table)
+        ~policy:(policy_of ~presized ~key_range table)
+        ~max_threads:4 ()
+    in
+    Runner.prepopulate t spec ~seed;
+    let occupancy = Hashtbl.create 16 in
+    Array.iter
+      (fun n ->
+        Hashtbl.replace occupancy n
+          (1 + Option.value ~default:0 (Hashtbl.find_opt occupancy n)))
+      (t.Factory.bucket_sizes ());
+    Printf.printf "%s: %d elements in %d buckets\n" table
+      (t.Factory.cardinal ())
+      (t.Factory.bucket_count ());
+    let keys =
+      Hashtbl.fold (fun k _ acc -> k :: acc) occupancy [] |> List.sort compare
+    in
+    List.iter
+      (fun n ->
+        let c = Hashtbl.find occupancy n in
+        Printf.printf "%3d elems: %6d buckets %s\n" n c
+          (String.make (min 60 (60 * c / max 1 (t.Factory.bucket_count ()))) '#'))
+      keys
+  in
+  let term =
+    Term.(
+      const hist $ table_arg $ range_arg $ lookup_arg $ presized_arg
+      $ seed_arg)
+  in
+  Cmd.v (Cmd.info "hist" ~doc:"Bucket occupancy histogram.") term
+
+let list_cmd =
+  let list () = List.iter print_endline table_names in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available implementations.")
+    Term.(const list $ const ())
+
+let () =
+  let doc = "dynamic-sized nonblocking hash table workbench" in
+  let info = Cmd.info "nbhash_cli" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; hist_cmd; list_cmd ]))

@@ -1,0 +1,61 @@
+(* Quickstart: the five-minute tour of the public API.
+
+     dune exec examples/quickstart.exe
+
+   A table is shared; each domain registers a handle and works through
+   it. The set resizes itself in both directions as its contents
+   change. *)
+
+module T = Nbhash.Tables.LFArray
+
+let () =
+  (* 1. Create a table and a handle for this thread. *)
+  let set = T.create () in
+  let h = T.register set in
+
+  (* 2. Ordinary set operations; booleans report whether the set
+        changed. *)
+  assert (T.insert h 42);
+  assert (not (T.insert h 42));
+  assert (T.contains h 42);
+  assert (T.remove h 42);
+  assert (not (T.contains h 42));
+  Printf.printf "basic operations: ok\n";
+
+  (* 3. The table grows as it fills... *)
+  for k = 0 to 99_999 do
+    ignore (T.insert h k)
+  done;
+  Printf.printf "after 100k inserts: %d elements in %d buckets\n"
+    (T.cardinal set) (T.bucket_count set);
+
+  (* ...and shrinks as it drains (the paper's headline feature). *)
+  for k = 0 to 99_999 do
+    ignore (T.remove h k)
+  done;
+  for _ = 1 to 10_000 do
+    ignore (T.remove h 0)
+  done;
+  Printf.printf "after draining: %d elements in %d buckets\n" (T.cardinal set)
+    (T.bucket_count set);
+
+  (* 4. Other domains just register their own handles. *)
+  let workers =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let h = T.register set in
+            for i = 0 to 9_999 do
+              ignore (T.insert h ((i * 4) + d))
+            done))
+  in
+  List.iter Domain.join workers;
+  Printf.printf "after 4 concurrent writers: %d elements in %d buckets\n"
+    (T.cardinal set) (T.bucket_count set);
+
+  (* 5. Wait-free and adaptive variants share the same interface. *)
+  let module A = Nbhash.Tables.AdaptiveOpt in
+  let wf = A.create ~max_threads:8 () in
+  let wh = A.register wf in
+  assert (A.insert wh 7);
+  assert (A.contains wh 7);
+  Printf.printf "adaptive wait-free table: ok\n"

@@ -1,0 +1,95 @@
+(** Immutable element containers used inside copy-on-write FSet nodes.
+
+    The paper's section 6 observes that because FSetNodes are
+    immutable, any sequential set representation works; it advocates
+    flat unsorted arrays for locality. We provide the array
+    representation (LFArray/WFArray tables) and a linked-list one
+    (LFList/WFList tables), and the FSet implementations are functors
+    over this signature. *)
+
+module type S = sig
+  type t
+
+  val id : string
+  val of_array : int array -> t
+  val to_array : t -> int array
+  val mem : t -> int -> bool
+
+  val add : t -> int -> t
+  (** Requires [not (mem t k)]. *)
+
+  val remove : t -> int -> t
+  (** Requires [mem t k]. *)
+
+  val length : t -> int
+end
+
+module Array_rep : S with type t = int array = struct
+  type t = int array
+
+  let id = "array"
+  let of_array = Array.copy
+  let to_array = Array.copy
+  let mem = Intset.mem
+  let add = Intset.add
+  let remove = Intset.remove
+  let length = Array.length
+end
+
+(* Sorted flat array: membership by binary search, updates still O(n)
+   copies. Section 6 notes any sequential representation works inside
+   an immutable FSetNode; this one trades slightly dearer inserts for
+   logarithmic lookups in large buckets. *)
+module Sorted_rep : S with type t = int array = struct
+  type t = int array
+
+  let id = "sorted"
+
+  let of_array a =
+    let b = Array.copy a in
+    Array.sort compare b;
+    b
+
+  let to_array = Array.copy
+
+  let rec bsearch a k lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if a.(mid) < k then bsearch a k (mid + 1) hi else bsearch a k lo mid
+    end
+
+  let mem a k =
+    let i = bsearch a k 0 (Array.length a) in
+    i < Array.length a && a.(i) = k
+
+  let add a k =
+    let n = Array.length a in
+    let i = bsearch a k 0 n in
+    let b = Array.make (n + 1) k in
+    Array.blit a 0 b 0 i;
+    Array.blit a i b (i + 1) (n - i);
+    b
+
+  let remove a k =
+    let n = Array.length a in
+    let i = bsearch a k 0 n in
+    let b = Array.make (n - 1) 0 in
+    Array.blit a 0 b 0 i;
+    Array.blit a (i + 1) b i (n - 1 - i);
+    b
+
+  let length = Array.length
+end
+
+module List_rep : S with type t = int list = struct
+  type t = int list
+
+  let id = "list"
+  let of_array a = Array.to_list a
+  let to_array l = Array.of_list l
+  let mem l k = List.mem k l
+  let add l k = k :: l
+  let remove l k = List.filter (fun x -> x <> k) l
+  let length = List.length
+end

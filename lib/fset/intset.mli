@@ -1,0 +1,28 @@
+(** Operations on immutable unsorted [int array]s viewed as sets.
+
+    These back the array-based FSet implementations and the key
+    migration performed during hash-table resizes. Arrays are never
+    mutated; every operation returns a fresh array. Inputs are assumed
+    duplicate-free, and outputs preserve that. *)
+
+val mem : int array -> int -> bool
+
+val add : int array -> int -> int array
+(** Requires [not (mem a k)]. *)
+
+val remove : int array -> int -> int array
+(** Requires [mem a k]. *)
+
+val filter_mask : int array -> mask:int -> target:int -> int array
+(** [filter_mask a ~mask ~target] keeps exactly the keys [k] with
+    [k land mask = target]: the "split" of a bucket during a grow. *)
+
+val disjoint_union : int array -> int array -> int array
+(** Concatenation; the "merge" of two buckets during a shrink. The
+    caller guarantees disjointness (buckets of distinct residues). *)
+
+val equal_as_sets : int array -> int array -> bool
+(** Order-insensitive equality; for tests. *)
+
+val of_list : int list -> int array
+(** Deduplicating conversion; for tests. *)

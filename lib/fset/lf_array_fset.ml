@@ -1,0 +1,3 @@
+(** Lock-free FSet over a flat unsorted array — the bucket
+    representation behind the paper's LFArray hash table. *)
+include Lf_fset.Make (Elems.Array_rep)

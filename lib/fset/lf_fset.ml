@@ -1,0 +1,57 @@
+module Make (E : Elems.S) : Fset_intf.S = struct
+  type node = { elems : E.t; ok : bool }
+  type t = node Atomic.t
+  type op = { kind : Fset_intf.kind; key : int; mutable resp : bool }
+
+  let id = E.id
+  let create elems = Atomic.make { elems = E.of_array elems; ok = true }
+  let make_op kind key = { kind; key; resp = false }
+
+  (* The CAS publishes the new node; on failure some other thread
+     changed the node (another update or a freeze) and we re-read.
+     A redundant operation (inserting a present key, removing an
+     absent one) linearizes at the read of the node: no CAS needed. *)
+  let rec invoke t op =
+    let o = Atomic.get t in
+    if not o.ok then false
+    else begin
+      let present = E.mem o.elems op.key in
+      match op.kind with
+      | Fset_intf.Ins when present ->
+        op.resp <- false;
+        true
+      | Fset_intf.Rem when not present ->
+        op.resp <- false;
+        true
+      | Fset_intf.Ins ->
+        if Atomic.compare_and_set t o { elems = E.add o.elems op.key; ok = true }
+        then begin
+          op.resp <- true;
+          true
+        end
+        else invoke t op
+      | Fset_intf.Rem ->
+        if
+          Atomic.compare_and_set t o
+            { elems = E.remove o.elems op.key; ok = true }
+        then begin
+          op.resp <- true;
+          true
+        end
+        else invoke t op
+    end
+
+  let get_response op = op.resp
+
+  let rec freeze t =
+    let o = Atomic.get t in
+    if not o.ok then E.to_array o.elems
+    else if Atomic.compare_and_set t o { elems = o.elems; ok = false } then
+      E.to_array o.elems
+    else freeze t
+
+  let has_member t k = E.mem (Atomic.get t).elems k
+  let size t = E.length (Atomic.get t).elems
+  let elements t = E.to_array (Atomic.get t).elems
+  let is_frozen t = not (Atomic.get t).ok
+end

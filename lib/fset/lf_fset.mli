@@ -1,0 +1,12 @@
+(** The specialized lock-free FSet of Figure 5, as a functor over the
+    immutable element representation.
+
+    All state lives in a single atomic pointer to an immutable
+    FSetNode [(elems, ok)]; invoke and freeze are copy-on-write CAS
+    loops. Because the lock-free hash set never lets one thread apply
+    another thread's operation, the specification's [done] bit is
+    unnecessary (paper section 6). The early-exit optimization the
+    paper describes (answering a redundant insert/remove without a
+    CAS) is included. *)
+
+module Make (E : Elems.S) : Fset_intf.S

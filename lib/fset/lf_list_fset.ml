@@ -1,0 +1,3 @@
+(** Lock-free FSet over an immutable list — the bucket representation
+    behind the paper's LFList hash table. *)
+include Lf_fset.Make (Elems.List_rep)

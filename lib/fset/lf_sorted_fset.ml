@@ -1,0 +1,4 @@
+(** Lock-free FSet over a sorted flat array (binary-search
+    membership) — an additional bucket representation beyond the
+    paper's unsorted array and list. *)
+include Lf_fset.Make (Elems.Sorted_rep)

@@ -1,0 +1,39 @@
+type t = { mutable set : int list; mutable ok : bool }
+
+type op = {
+  kind : Fset_intf.kind;
+  key : int;
+  mutable done_ : bool;
+  mutable resp : bool;
+}
+
+let id = "seq"
+let create elems = { set = Array.to_list elems; ok = true }
+let make_op kind key = { kind; key; done_ = false; resp = false }
+
+let invoke t op =
+  if t.ok && not op.done_ then begin
+    (match op.kind with
+    | Fset_intf.Ins ->
+      op.resp <- not (List.mem op.key t.set);
+      if op.resp then t.set <- op.key :: t.set
+    | Fset_intf.Rem ->
+      op.resp <- List.mem op.key t.set;
+      if op.resp then t.set <- List.filter (fun x -> x <> op.key) t.set);
+    op.done_ <- true
+  end;
+  op.done_
+
+let get_response op = op.resp
+let has_member t k = List.mem k t.set
+
+let freeze t =
+  if t.ok then t.ok <- false;
+  Array.of_list t.set
+
+let size t = List.length t.set
+let elements t = Array.of_list t.set
+let is_frozen t = not t.ok
+let op_kind op = op.kind
+let op_key op = op.key
+let op_done op = op.done_

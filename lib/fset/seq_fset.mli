@@ -1,0 +1,11 @@
+(** The executable specification of Figure 1: a sequential (not
+    thread-safe) FSet with an explicit [done] bit on operations.
+
+    This is the oracle the concurrent implementations are tested
+    against, and a readable reference for the abstract semantics. *)
+
+include Fset_intf.S
+
+val op_kind : op -> Fset_intf.kind
+val op_key : op -> int
+val op_done : op -> bool

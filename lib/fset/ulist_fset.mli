@@ -1,0 +1,19 @@
+(** A freezable set over a practical non-blocking {e unordered} list —
+    the substrate the paper cites for its list-based freezable sets
+    ("Practical lock-free and wait-free implementations of freezable
+    sets can be derived from a recent unordered list algorithm [20]",
+    section 1; reference [20] is Zhang, Zhao, Yang, Liu, Spear,
+    DISC 2013).
+
+    Unlike the copy-on-write {!Lf_list_fset}, mutation does not
+    replace the whole set: every operation {e enlists} a node at the
+    list head by CAS and is then resolved against the suffix — an
+    insert becomes data if no same-key data node exists behind it, a
+    remove invalidates the first same-key data node behind it. Any
+    thread that needs a pending node's verdict helps resolve it first,
+    which makes per-key resolution deterministic in enlist order.
+    Invalid nodes are unlinked lazily during traversals. Freezing
+    enlists a permanent marker at the head, after which enlisting
+    fails and the set is immutable. *)
+
+include Fset_intf.S

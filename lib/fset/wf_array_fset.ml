@@ -1,0 +1,3 @@
+(** Cooperative wait-free FSet over a flat array — the bucket
+    representation behind the paper's WFArray and Adaptive tables. *)
+include Wf_fset.Make (Elems.Array_rep)

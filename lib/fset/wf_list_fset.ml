@@ -1,0 +1,3 @@
+(** Cooperative wait-free FSet over an immutable list — the bucket
+    representation behind the paper's WFList table. *)
+include Wf_fset.Make (Elems.List_rep)

@@ -1,0 +1,29 @@
+(** The adaptive hash set: the Fastpath/Slowpath methodology of Kogan
+    and Petrank applied to the wait-free table (the paper's Adaptive
+    algorithm).
+
+    Operations first run a lock-free retry loop (no announcement, no
+    shared counter); only after [fast_threshold] consecutive failures
+    — which requires sustained resizing against the same key — does a
+    thread fall back to the announce-and-help slow path of Figure 4.
+    Fast-path threads assist the oldest announced operation once every
+    [help_period] operations, preserving wait-freedom. The paper used
+    a threshold of 256, which "virtually guarantees no fallbacks". *)
+
+module Make (F : Nbhash_fset.Fset_intf.WF) : sig
+  include Hashset_intf.S
+
+  val create_tuned :
+    ?policy:Policy.t ->
+    ?max_threads:int ->
+    ?fast_threshold:int ->
+    ?help_period:int ->
+    unit ->
+    t
+  (** [help_period] must be a power of two. Defaults: threshold 256,
+      period 64. *)
+
+  val slow_path_entries : handle -> int
+  (** How many operations through this handle fell back to the slow
+      path; ablation diagnostics. *)
+end

@@ -1,0 +1,21 @@
+(** AdaptiveOpt: the adaptive (Fastpath/Slowpath) hash set with the
+    LFArrayOpt flattening applied (paper section 8, "AdaptiveOpt
+    applies the optimizations from LFArrayOpt to Adaptive").
+
+    Each bucket slot holds the cooperative wait-free FSetNode
+    directly — an immutable element array plus the operation
+    synchronization slot — and the per-bucket freeze flags live in a
+    parallel array of the HNode, eliminating the FSet wrapper object
+    of [Adaptive_hashset.Make (Nbhash_fset.Wf_array_fset)]. *)
+
+include Hashset_intf.S
+
+val create_tuned :
+  ?policy:Policy.t ->
+  ?max_threads:int ->
+  ?fast_threshold:int ->
+  ?help_period:int ->
+  unit ->
+  t
+
+val slow_path_entries : handle -> int

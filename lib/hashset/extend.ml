@@ -1,0 +1,33 @@
+module Make (S : Hashset_intf.S) = struct
+  include S
+
+  let of_list ?policy keys =
+    let t = S.create ?policy () in
+    let h = S.register t in
+    List.iter (fun k -> ignore (S.insert h k)) keys;
+    (t, h)
+
+  let add_seq h seq =
+    Seq.fold_left (fun n k -> if S.insert h k then n + 1 else n) 0 seq
+
+  let remove_seq h seq =
+    Seq.fold_left (fun n k -> if S.remove h k then n + 1 else n) 0 seq
+
+  let iter f t = Array.iter f (S.elements t)
+  let fold f init t = Array.fold_left f init (S.elements t)
+
+  let to_list t =
+    let a = S.elements t in
+    Array.sort compare a;
+    Array.to_list a
+
+  let equal a b = to_list a = to_list b
+
+  let subset a b =
+    let in_b = Hashtbl.create 64 in
+    Array.iter (fun k -> Hashtbl.replace in_b k ()) (S.elements b);
+    Array.for_all (Hashtbl.mem in_b) (S.elements a)
+
+  let union_into h src = add_seq h (Array.to_seq (S.elements src))
+  let diff_into h src = remove_seq h (Array.to_seq (S.elements src))
+end

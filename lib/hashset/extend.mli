@@ -1,0 +1,38 @@
+(** Derived convenience operations over any hash-set implementation:
+    bulk construction, iteration, and set algebra. All of these are
+    built from the five primitive operations, so they inherit the
+    underlying table's progress guarantees per element; the whole-set
+    operations ([iter], [to_list], [union], ...) read via [elements]
+    and are exact only in quiescent states. *)
+
+module Make (S : Hashset_intf.S) : sig
+  include Hashset_intf.S with type t = S.t and type handle = S.handle
+
+  val of_list : ?policy:Policy.t -> int list -> t * handle
+  (** Build a table holding the given keys (duplicates collapse). *)
+
+  val add_seq : handle -> int Seq.t -> int
+  (** Insert every key; returns how many were new. *)
+
+  val remove_seq : handle -> int Seq.t -> int
+  (** Remove every key; returns how many were present. *)
+
+  val iter : (int -> unit) -> t -> unit
+  val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+  val to_list : t -> int list
+  (** Sorted ascending. *)
+
+  val equal : t -> t -> bool
+  (** Same abstract set. *)
+
+  val subset : t -> t -> bool
+  (** [subset a b]: every element of [a] is in [b]. *)
+
+  val union_into : handle -> t -> int
+  (** [union_into h src] inserts every element of [src] into [h]'s
+      table; returns how many were new. *)
+
+  val diff_into : handle -> t -> int
+  (** [diff_into h src] removes every element of [src] from [h]'s
+      table; returns how many were present. *)
+end

@@ -1,0 +1,65 @@
+(** The common interface of every hash set in this repository — the
+    paper's algorithms (LFArray, LFArrayOpt, LFList, WFArray, WFList,
+    Adaptive, AdaptiveOpt) and the baselines (SplitOrder, Michael).
+
+    Keys are non-negative ints below [2^61]. Structures are
+    handle-based: {!S.register} claims any per-thread state (an
+    announce-array slot for the wait-free variants, a PRNG for the
+    shrink policy) and every operation goes through a handle. A handle
+    must not be shared between domains; a table may be shared
+    freely. *)
+
+type resize_stats = { grows : int; shrinks : int }
+(** How many times the bucket array has doubled and halved. *)
+
+module type S = sig
+  type t
+  type handle
+
+  val name : string
+
+  val create : ?policy:Policy.t -> ?max_threads:int -> unit -> t
+  (** [max_threads] bounds the number of handles that may ever be
+      registered (used to size announce arrays); implementations
+      without announce arrays ignore it. Default 128. *)
+
+  val register : t -> handle
+  (** Claim per-thread state. Raises [Failure] if more than
+      [max_threads] handles are requested. *)
+
+  val insert : handle -> int -> bool
+  (** [insert h k] adds [k]; [true] iff [k] was absent. *)
+
+  val remove : handle -> int -> bool
+  (** [remove h k] deletes [k]; [true] iff [k] was present. *)
+
+  val contains : handle -> int -> bool
+
+  val bucket_count : t -> int
+  (** Current size of the bucket array (power of two). *)
+
+  val resize_stats : t -> resize_stats
+  (** Cumulative resize counts (both policy-driven and forced). *)
+
+  val bucket_sizes : t -> int array
+  (** Per-bucket occupancy, by the abstract (Figure 3) contents.
+      Exact only in quiescent states; for diagnostics and tests. *)
+
+  val force_resize : handle -> grow:bool -> unit
+  (** Trigger one resize step irrespective of the policy (a no-op for
+      structures that cannot resize in the requested direction). *)
+
+  val cardinal : t -> int
+  (** Number of elements. Exact only in quiescent states. *)
+
+  val elements : t -> int array
+  (** All elements. Exact only in quiescent states. *)
+
+  val check_invariants : t -> unit
+  (** Validate structural invariants (quiescent states only); raises
+      [Failure] with a description on violation. For tests. *)
+end
+
+let check_key k =
+  if k < 0 || k >= 1 lsl 61 then
+    invalid_arg "key must be a non-negative int below 2^61"

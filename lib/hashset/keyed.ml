@@ -1,0 +1,19 @@
+module type KEY = sig
+  type t
+
+  val to_int : t -> int
+end
+
+module Make (K : KEY) (S : Hashset_intf.S) = struct
+  type t = S.t
+  type handle = S.handle
+
+  let name = S.name ^ "-keyed"
+  let create = S.create
+  let register = S.register
+  let insert h k = S.insert h (K.to_int k)
+  let remove h k = S.remove h (K.to_int k)
+  let contains h k = S.contains h (K.to_int k)
+  let cardinal = S.cardinal
+  let bucket_count = S.bucket_count
+end

@@ -1,0 +1,30 @@
+(** Lift an integer hash set to arbitrary keys via an injective
+    integer encoding.
+
+    The paper's tables are integer sets; many practical key types
+    (enums, characters, IPv4 addresses, small tuples, short ASCII
+    tags) embed injectively into 61-bit non-negative integers, which
+    preserves exact set semantics — unlike hashing, which would
+    conflate colliding keys. For non-injective key types, use
+    {!Hashmap} and store the key itself. *)
+
+module type KEY = sig
+  type t
+
+  val to_int : t -> int
+  (** Must be injective, and land in [0, 2^61). *)
+end
+
+module Make (K : KEY) (S : Hashset_intf.S) : sig
+  type t
+  type handle
+
+  val name : string
+  val create : ?policy:Policy.t -> ?max_threads:int -> unit -> t
+  val register : t -> handle
+  val insert : handle -> K.t -> bool
+  val remove : handle -> K.t -> bool
+  val contains : handle -> K.t -> bool
+  val cardinal : t -> int
+  val bucket_count : t -> int
+end

@@ -1,0 +1,9 @@
+(** The lock-free dynamic-sized hash set of Figure 2, as a functor
+    over the freezable-set implementation used for buckets.
+
+    [Make (Nbhash_fset.Lf_array_fset)] is the paper's LFArray table;
+    [Make (Nbhash_fset.Lf_list_fset)] is LFList. Inserts and removes
+    retry only when their bucket was frozen by a concurrent resize,
+    which implies system-wide progress (paper section 4.3). *)
+
+module Make (F : Nbhash_fset.Fset_intf.S) : Hashset_intf.S

@@ -1,0 +1,261 @@
+module Intset = Nbhash_fset.Intset
+
+(* A bucket slot is directly the FSetNode: no FSet wrapper object.
+   [Uninit] plays the role of the nil bucket pointer; the inline
+   record is the immutable (elems, ok) node. *)
+type bslot = Uninit | Node of { elems : int array; ok : bool }
+
+type hnode = {
+  buckets : bslot Atomic.t array;
+  size : int;
+  mask : int;
+  pred : hnode option Atomic.t;
+}
+
+type t = {
+  head : hnode Atomic.t;
+  policy : Policy.t;
+  count : Policy.Counter.shared;
+  grows : int Atomic.t;
+  shrinks : int Atomic.t;
+}
+
+type handle = { table : t; local : Policy.Trigger.local }
+
+let name = "LFArrayOpt"
+
+let make_hnode ~size ~pred =
+  {
+    buckets = Array.init size (fun _ -> Atomic.make Uninit);
+    size;
+    mask = size - 1;
+    pred = Atomic.make pred;
+  }
+
+let create ?(policy = Policy.default) ?max_threads () =
+  ignore max_threads;
+  Policy.validate policy;
+  let hn = make_hnode ~size:policy.Policy.init_buckets ~pred:None in
+  Array.iter
+    (fun b -> Atomic.set b (Node { elems = [||]; ok = true }))
+    hn.buckets;
+  {
+    head = Atomic.make hn;
+    policy;
+    count = Policy.Counter.make_shared ();
+    grows = Atomic.make 0;
+    shrinks = Atomic.make 0;
+  }
+
+let seed = Atomic.make 0x0b7
+
+let register table =
+  {
+    table;
+    local =
+      Policy.Trigger.make_local table.count
+        ~seed:(Atomic.fetch_and_add seed 1);
+  }
+
+(* FREEZE on a flattened bucket: CAS the ok bit off in place. The slot
+   is a predecessor bucket and hence never [Uninit]. *)
+let rec freeze_slot slot =
+  match Atomic.get slot with
+  | Uninit -> assert false
+  | Node n as cur ->
+    if not n.ok then n.elems
+    else if Atomic.compare_and_set slot cur (Node { elems = n.elems; ok = false })
+    then n.elems
+    else freeze_slot slot
+
+let bucket_elems slot =
+  match Atomic.get slot with Uninit -> assert false | Node n -> n.elems
+
+(* INITBUCKET, on slots. *)
+let init_bucket hn i =
+  (match (Atomic.get hn.buckets.(i), Atomic.get hn.pred) with
+  | Uninit, Some s ->
+    let elems =
+      if hn.size = s.size * 2 then
+        Intset.filter_mask
+          (freeze_slot s.buckets.(i land s.mask))
+          ~mask:hn.mask ~target:i
+      else
+        Intset.disjoint_union
+          (freeze_slot s.buckets.(i))
+          (freeze_slot s.buckets.(i + hn.size))
+    in
+    ignore
+      (Atomic.compare_and_set hn.buckets.(i) Uninit
+         (Node { elems; ok = true }))
+  | (Node _ | Uninit), _ -> ());
+  hn.buckets.(i)
+
+let resize t grow =
+  let hn = Atomic.get t.head in
+  let within_bounds =
+    if grow then hn.size * 2 <= t.policy.Policy.max_buckets
+    else hn.size / 2 >= t.policy.Policy.min_buckets
+  in
+  if (hn.size > 1 || grow) && within_bounds then begin
+    for i = 0 to hn.size - 1 do
+      ignore (init_bucket hn i)
+    done;
+    Atomic.set hn.pred None;
+    let size = if grow then hn.size * 2 else hn.size / 2 in
+    let hn' = make_hnode ~size ~pred:(Some hn) in
+    if Atomic.compare_and_set t.head hn hn' then
+      ignore (Atomic.fetch_and_add (if grow then t.grows else t.shrinks) 1)
+  end
+
+(* APPLY with the FSet INVOKE inlined against the slot: a frozen node
+   or a lost CAS means a resize intervened, so re-resolve from the
+   head. Redundant operations linearize at the node read, without a
+   CAS. *)
+let rec run_op t kind k =
+  let hn = Atomic.get t.head in
+  let i = k land hn.mask in
+  let slot = hn.buckets.(i) in
+  match Atomic.get slot with
+  | Uninit ->
+    ignore (init_bucket hn i);
+    run_op t kind k
+  | Node n as cur ->
+    if not n.ok then run_op t kind k
+    else begin
+      let present = Intset.mem n.elems k in
+      match kind with
+      | Nbhash_fset.Fset_intf.Ins ->
+        if present then false
+        else if
+          Atomic.compare_and_set slot cur
+            (Node { elems = Intset.add n.elems k; ok = true })
+        then true
+        else run_op t kind k
+      | Nbhash_fset.Fset_intf.Rem ->
+        if not present then false
+        else if
+          Atomic.compare_and_set slot cur
+            (Node { elems = Intset.remove n.elems k; ok = true })
+        then true
+        else run_op t kind k
+    end
+
+let slot_size slot =
+  match Atomic.get slot with
+  | Uninit -> 0
+  | Node n -> Array.length n.elems
+
+let after_insert h k ~resp =
+  Policy.Trigger.note_insert h.local ~resp;
+  let hn = Atomic.get h.table.head in
+  if
+    Policy.Trigger.want_grow h.table.policy h.table.count
+      ~cur_buckets:hn.size
+      ~inserted_bucket_size:(fun () -> slot_size hn.buckets.(k land hn.mask))
+  then resize h.table true
+
+let after_remove h ~resp =
+  Policy.Trigger.note_remove h.local ~resp;
+  let hn = Atomic.get h.table.head in
+  if
+    Policy.Trigger.want_shrink h.table.policy h.local ~cur_buckets:hn.size
+      ~sample_bucket_size:(fun i -> slot_size hn.buckets.(i))
+  then resize h.table false
+
+let insert h k =
+  Hashset_intf.check_key k;
+  let resp = run_op h.table Nbhash_fset.Fset_intf.Ins k in
+  after_insert h k ~resp;
+  resp
+
+let remove h k =
+  Hashset_intf.check_key k;
+  let resp = run_op h.table Nbhash_fset.Fset_intf.Rem k in
+  after_remove h ~resp;
+  resp
+
+let contains h k =
+  Hashset_intf.check_key k;
+  let t = h.table in
+  let hn = Atomic.get t.head in
+  match Atomic.get hn.buckets.(k land hn.mask) with
+  | Node n -> Intset.mem n.elems k
+  | Uninit ->
+    let elems =
+      match Atomic.get hn.pred with
+      | Some s -> bucket_elems s.buckets.(k land s.mask)
+      | None -> bucket_elems hn.buckets.(k land hn.mask)
+    in
+    Intset.mem elems k
+
+let bucket_count t = (Atomic.get t.head).size
+
+let resize_stats t =
+  { Hashset_intf.grows = Atomic.get t.grows; shrinks = Atomic.get t.shrinks }
+
+let force_resize h ~grow = resize h.table grow
+
+(* The Figure 3 refinement mapping, for quiescent inspection. *)
+let bucket_set hn i =
+  match Atomic.get hn.buckets.(i) with
+  | Node n -> n.elems
+  | Uninit -> (
+    match Atomic.get hn.pred with
+    | Some s ->
+      if hn.size = s.size * 2 then
+        Intset.filter_mask
+          (bucket_elems s.buckets.(i land s.mask))
+          ~mask:hn.mask ~target:i
+      else
+        Intset.disjoint_union
+          (bucket_elems s.buckets.(i))
+          (bucket_elems s.buckets.(i + hn.size))
+    | None -> bucket_elems hn.buckets.(i))
+
+let elements t =
+  let hn = Atomic.get t.head in
+  Array.concat (List.init hn.size (bucket_set hn))
+
+let bucket_sizes t =
+  let hn = Atomic.get t.head in
+  Array.init hn.size (fun i -> Array.length (bucket_set hn i))
+
+let cardinal t = Array.length (elements t)
+
+let fail fmt = Format.kasprintf failwith fmt
+
+let check_invariants t =
+  let hn = Atomic.get t.head in
+  (match Atomic.get hn.pred with
+  | Some s ->
+    if hn.size <> s.size * 2 && hn.size * 2 <> s.size then
+      fail "head size %d not double or half of pred size %d" hn.size s.size;
+    Array.iteri
+      (fun j b ->
+        if Atomic.get b = Uninit then fail "pred bucket %d is uninit" j)
+      s.buckets
+  | None ->
+    Array.iteri
+      (fun i b ->
+        if Atomic.get b = Uninit then
+          fail "bucket %d uninit in a table without predecessor" i)
+      hn.buckets);
+  Array.iteri
+    (fun i b ->
+      match Atomic.get b with
+      | Uninit -> ()
+      | Node n ->
+        Array.iter
+          (fun k ->
+            if k land hn.mask <> i then
+              fail "key %d misplaced in bucket %d of %d" k i hn.size)
+          n.elems)
+    hn.buckets;
+  let all = elements t in
+  let seen = Hashtbl.create (Array.length all) in
+  Array.iter
+    (fun k ->
+      if Hashtbl.mem seen k then fail "duplicate key %d in abstract set" k;
+      Hashtbl.add seen k ())
+    all

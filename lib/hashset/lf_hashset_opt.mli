@@ -1,0 +1,12 @@
+(** LFArrayOpt: the lock-free array-bucket hash set with one level of
+    indirection removed (paper section 8, "LFArrayOpt removes a level
+    of indirection from LFArray by pointing buckets directly to array
+    elements, rather than FSET markers").
+
+    Instead of bucket -> FSet record -> atomic node pointer -> node,
+    each bucket slot is itself the atomic holding the copy-on-write
+    node (an immutable element array plus the mutability bit), so a
+    read touches two fewer cache lines. Semantically identical to
+    [Lf_hashset.Make (Nbhash_fset.Lf_array_fset)]. *)
+
+include Hashset_intf.S

@@ -1,0 +1,256 @@
+(** The HNode scaffolding shared by the lock-free and wait-free hash
+    sets (Figure 2 of the paper, minus APPLY): the versioned bucket
+    array, lazy bucket initialization by freeze-and-migrate
+    ([init_bucket], lines 38-51), the RESIZE operation (lines 19-28),
+    and CONTAINS (lines 11-18).
+
+    A table is a list of HNodes of length at most two: [head] and, while
+    a resize is being absorbed, [head]'s predecessor. Bucket [i] of the
+    head starts out nil and is initialized on first touch by freezing
+    the corresponding predecessor bucket(s) and copying the split
+    (grow) or merged (shrink) keys. Freezing first is what lets keys
+    move without loss or duplication: the frozen buckets remain the
+    logical truth (the refinement mapping of Figure 3) until the new
+    bucket is installed by CAS, an abstract-state-preserving step. *)
+
+module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
+  type hnode = {
+    buckets : F.t option Atomic.t array;
+    size : int;
+    mask : int;
+    pred : hnode option Atomic.t;
+  }
+
+  type t = {
+    head : hnode Atomic.t;
+    policy : Policy.t;
+    count : Policy.Counter.shared;  (* approximate, for Load_factor *)
+    grows : int Atomic.t;
+    shrinks : int Atomic.t;
+  }
+
+  let make_hnode ~size ~pred =
+    {
+      buckets = Array.init size (fun _ -> Atomic.make None);
+      size;
+      mask = size - 1;
+      pred = Atomic.make pred;
+    }
+
+  (* Unlike the paper's one-bucket initial table, a fresh table may be
+     presized; every bucket of a pred-less HNode must be non-nil
+     (Invariant 11), so initialize them all. *)
+  let create policy =
+    Policy.validate policy;
+    let hn = make_hnode ~size:policy.Policy.init_buckets ~pred:None in
+    Array.iter (fun b -> Atomic.set b (Some (F.create [||]))) hn.buckets;
+    {
+      head = Atomic.make hn;
+      policy;
+      count = Policy.Counter.make_shared ();
+      grows = Atomic.make 0;
+      shrinks = Atomic.make 0;
+    }
+
+  (* Predecessor buckets are never nil (Invariant 12: a resize
+     initializes every bucket before publishing the new HNode). *)
+  let pred_bucket s j =
+    match Atomic.get s.buckets.(j) with
+    | Some b -> b
+    | None -> assert false
+
+  (* Initialize bucket [i] of [hn] from its predecessor bucket(s):
+     freeze them, then split or merge their keys. The CAS publishes
+     the new bucket; losing the race to a helping thread is fine — the
+     final re-read returns whoever won. *)
+  let init_bucket hn i =
+    (match (Atomic.get hn.buckets.(i), Atomic.get hn.pred) with
+    | None, Some s ->
+      let elems =
+        if hn.size = s.size * 2 then
+          let m = pred_bucket s (i land s.mask) in
+          Nbhash_fset.Intset.filter_mask (F.freeze m) ~mask:hn.mask ~target:i
+        else begin
+          let m = pred_bucket s i in
+          let n = pred_bucket s (i + hn.size) in
+          Nbhash_fset.Intset.disjoint_union (F.freeze m) (F.freeze n)
+        end
+      in
+      ignore (Atomic.compare_and_set hn.buckets.(i) None (Some (F.create elems)))
+    | (Some _ | None), _ -> ());
+    match Atomic.get hn.buckets.(i) with
+    | Some b -> b
+    | None ->
+      (* buckets.(i) = nil together with pred = nil cannot happen
+         (Invariant 11): pred is cleared only after every bucket is
+         initialized, and buckets never return to nil. *)
+      assert false
+
+  (* Locate (initializing if needed) the bucket of [hn] that owns key
+     [k]. *)
+  let bucket_for hn k =
+    let i = k land hn.mask in
+    match Atomic.get hn.buckets.(i) with
+    | Some b -> b
+    | None -> init_bucket hn i
+
+  (* RESIZE: force full migration into the head HNode, cut the
+     now-immutable predecessor loose, and install a double- or
+     half-sized successor. The head CAS is the only step that changes
+     which HNode is current, and it preserves the abstract set
+     (Lemma 14). *)
+  let resize t grow =
+    let hn = Atomic.get t.head in
+    let within_bounds =
+      if grow then hn.size * 2 <= t.policy.Policy.max_buckets
+      else hn.size / 2 >= t.policy.Policy.min_buckets
+    in
+    if (hn.size > 1 || grow) && within_bounds then begin
+      for i = 0 to hn.size - 1 do
+        ignore (init_bucket hn i)
+      done;
+      Atomic.set hn.pred None;
+      let size = if grow then hn.size * 2 else hn.size / 2 in
+      let hn' = make_hnode ~size ~pred:(Some hn) in
+      if Atomic.compare_and_set t.head hn hn' then
+        ignore
+          (Atomic.fetch_and_add (if grow then t.grows else t.shrinks) 1)
+    end
+
+  (* CONTAINS: search the head bucket; if it is uninitialized, search
+     through the predecessor instead — unless the predecessor vanished
+     meanwhile, in which case the head bucket must have been
+     initialized and is re-read (lines 14-17). *)
+  let contains t k =
+    let hn = Atomic.get t.head in
+    match Atomic.get hn.buckets.(k land hn.mask) with
+    | Some b -> F.has_member b k
+    | None ->
+      let b =
+        match Atomic.get hn.pred with
+        | Some s -> pred_bucket s (k land s.mask)
+        | None -> (
+          match Atomic.get hn.buckets.(k land hn.mask) with
+          | Some b -> b
+          | None -> assert false)
+      in
+      F.has_member b k
+
+  let bucket_count t = (Atomic.get t.head).size
+
+  let resize_stats t =
+    {
+      Hashset_intf.grows = Atomic.get t.grows;
+      shrinks = Atomic.get t.shrinks;
+    }
+
+  (* Current size of bucket [i] of [hn]; uninitialized buckets report 0
+     (forcing their migration just to measure them would defeat
+     laziness). *)
+  let bucket_size_at hn i =
+    match Atomic.get hn.buckets.(i) with None -> 0 | Some b -> F.size b
+
+  (* Policy plumbing shared by the table implementations built on this
+     core. *)
+  let after_insert t local ~key ~resp =
+    Policy.Trigger.note_insert local ~resp;
+    let hn = Atomic.get t.head in
+    if
+      Policy.Trigger.want_grow t.policy t.count ~cur_buckets:hn.size
+        ~inserted_bucket_size:(fun () -> bucket_size_at hn (key land hn.mask))
+    then resize t true
+
+  let after_remove t local ~resp =
+    Policy.Trigger.note_remove local ~resp;
+    let hn = Atomic.get t.head in
+    if
+      Policy.Trigger.want_shrink t.policy local ~cur_buckets:hn.size
+        ~sample_bucket_size:(bucket_size_at hn)
+    then resize t false
+
+  (* The refinement mapping of Figure 3, reified: BuckSet(t, i) is the
+     bucket's own elements when initialized, and the split/merge of
+     the predecessor's elements otherwise. Exact in quiescent
+     states. *)
+  let bucket_set hn i =
+    match Atomic.get hn.buckets.(i) with
+    | Some b -> F.elements b
+    | None -> (
+      match Atomic.get hn.pred with
+      | Some s ->
+        if hn.size = s.size * 2 then
+          Nbhash_fset.Intset.filter_mask
+            (F.elements (pred_bucket s (i land s.mask)))
+            ~mask:hn.mask ~target:i
+        else
+          Nbhash_fset.Intset.disjoint_union
+            (F.elements (pred_bucket s i))
+            (F.elements (pred_bucket s (i + hn.size)))
+      | None -> (
+        match Atomic.get hn.buckets.(i) with
+        | Some b -> F.elements b
+        | None -> assert false))
+
+  let elements t =
+    let hn = Atomic.get t.head in
+    let parts = List.init hn.size (bucket_set hn) in
+    Array.concat parts
+
+  let bucket_sizes t =
+    let hn = Atomic.get t.head in
+    Array.init hn.size (fun i -> Array.length (bucket_set hn i))
+
+  let cardinal t = Array.length (elements t)
+
+  let fail fmt = Format.kasprintf failwith fmt
+
+  (* Structural sanity for quiescent states: key placement, the
+     nil-bucket invariants (11 and 12), frozen-predecessor invariant
+     (13), and duplicate freedom across the whole table. *)
+  let check_invariants t =
+    let hn = Atomic.get t.head in
+    let pred = Atomic.get hn.pred in
+    (match pred with
+    | Some s ->
+      if hn.size <> s.size * 2 && hn.size * 2 <> s.size then
+        fail "head size %d not double or half of pred size %d" hn.size s.size;
+      Array.iteri
+        (fun j b ->
+          if Atomic.get b = None then fail "pred bucket %d is nil" j)
+        s.buckets
+    | None ->
+      Array.iteri
+        (fun i b ->
+          if Atomic.get b = None then
+            fail "bucket %d nil in a table without predecessor" i)
+        hn.buckets);
+    Array.iteri
+      (fun i b ->
+        match Atomic.get b with
+        | None -> ()
+        | Some b ->
+          Array.iter
+            (fun k ->
+              if k land hn.mask <> i then
+                fail "key %d misplaced in bucket %d of %d" k i hn.size)
+            (F.elements b);
+          (match pred with
+          | Some s when hn.size = s.size * 2 ->
+            if not (F.is_frozen (pred_bucket s (i land s.mask))) then
+              fail "predecessor of initialized bucket %d is not frozen" i
+          | Some s ->
+            if
+              not
+                (F.is_frozen (pred_bucket s i)
+                && F.is_frozen (pred_bucket s (i + hn.size)))
+            then fail "predecessors of initialized bucket %d are not frozen" i
+          | None -> ()))
+      hn.buckets;
+    let all = elements t in
+    let seen = Hashtbl.create (Array.length all) in
+    Array.iter
+      (fun k ->
+        if Hashtbl.mem seen k then fail "duplicate key %d in abstract set" k;
+        Hashtbl.add seen k ())
+      all
+end

@@ -1,0 +1,21 @@
+(** The seven resizable tables the paper evaluates, instantiated and
+    named as in section 8. (The eighth, SplitOrder, is the baseline in
+    [Nbhash_splitorder]; a non-resizable reference, Michael's table,
+    is in [Nbhash_michael].) *)
+
+module LFArray = Lf_hashset.Make (Nbhash_fset.Lf_array_fset)
+
+(* LFUlist uses the paper's cited unordered-list substrate [20] for
+   its buckets; LFList uses the simpler copy-on-write list. Both are
+   list-shaped freezable sets; see DESIGN.md. *)
+module LFUlist = Lf_hashset.Make (Nbhash_fset.Ulist_fset)
+module LFArrayOpt = Lf_hashset_opt
+
+(* A further bucket representation: sorted arrays with binary-search
+   membership (see Elems.Sorted_rep). *)
+module LFSorted = Lf_hashset.Make (Nbhash_fset.Lf_sorted_fset)
+module LFList = Lf_hashset.Make (Nbhash_fset.Lf_list_fset)
+module WFArray = Wf_hashset.Make (Nbhash_fset.Wf_array_fset)
+module WFList = Wf_hashset.Make (Nbhash_fset.Wf_list_fset)
+module Adaptive = Adaptive_hashset.Make (Nbhash_fset.Wf_array_fset)
+module AdaptiveOpt = Adaptive_hashset_opt

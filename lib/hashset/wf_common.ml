@@ -1,0 +1,105 @@
+(** Announce-and-help machinery shared by the wait-free hash set
+    (Figure 4) and the adaptive Fastpath/Slowpath variants.
+
+    Threads announce operations tagged with strictly increasing
+    priorities (a fetch-and-increment counter — the doorway of
+    Lamport's bakery, as the paper notes) in a slot array indexed by
+    thread id, and then help every announced operation whose priority
+    does not exceed their own. An operation's priority becomes
+    infinity when it has been applied, which bounds every helping loop
+    (section 5.2: O(T^2) FSet operations per APPLY). *)
+
+module Make (F : Nbhash_fset.Fset_intf.WF) = struct
+  module Core = Table_core.Make (F)
+
+  type t = {
+    core : Core.t;
+    slots : F.op Atomic.t array;
+    counter : int Atomic.t;
+    next_tid : int Atomic.t;
+  }
+
+  type handle = {
+    table : t;
+    tid : int;
+    local : Policy.Trigger.local;
+    mutable ops : int;  (* operation count, drives periodic helping *)
+    mutable slow_entries : int;  (* adaptive diagnostics *)
+  }
+
+  let inert_op () = F.make_op Nbhash_fset.Fset_intf.Ins 0 ~prio:F.infinity_prio
+
+  let create_t policy max_threads =
+    if max_threads < 1 then invalid_arg "max_threads < 1";
+    {
+      core = Core.create policy;
+      slots = Array.init max_threads (fun _ -> Atomic.make (inert_op ()));
+      counter = Atomic.make 0;
+      next_tid = Atomic.make 0;
+    }
+
+  let register table =
+    let tid = Atomic.fetch_and_add table.next_tid 1 in
+    if tid >= Array.length table.slots then
+      failwith "register: max_threads handles already registered";
+    {
+      table;
+      tid;
+      local =
+        Policy.Trigger.make_local table.core.Core.count ~seed:(0x5eed + tid);
+      ops = 0;
+      slow_entries = 0;
+    }
+
+  (* Drive one operation to completion against whatever bucket
+     currently owns its key. Invoke fails only if the bucket was
+     frozen, which implies the head changed; re-resolving the bucket
+     therefore makes progress. Stops as soon as the operation is done
+     (possibly completed by someone else). *)
+  let drive t op =
+    let continue = ref (not (F.op_is_done op)) in
+    while !continue do
+      let hn = Atomic.get t.core.Core.head in
+      let b = Core.bucket_for hn (F.op_key op) in
+      if F.invoke b op then continue := false
+      else continue := not (F.op_is_done op)
+    done
+
+  (* The helping scan of Figure 4 (lines 56-64): complete every
+     announced operation whose priority is at most [prio]. *)
+  let help_up_to t ~prio =
+    for tid = 0 to Array.length t.slots - 1 do
+      let op = Atomic.get t.slots.(tid) in
+      if F.op_prio op <= prio then drive t op
+    done
+
+  (* Help the single oldest announced operation, if any: the periodic
+     assist that keeps fast-path threads from starving slow-path
+     ones. *)
+  let help_lowest t =
+    let best = ref None in
+    Array.iter
+      (fun slot ->
+        let op = Atomic.get slot in
+        let p = F.op_prio op in
+        if p <> F.infinity_prio then
+          match !best with
+          | Some (bp, _) when bp <= p -> ()
+          | Some _ | None -> best := Some (p, op))
+      t.slots;
+    match !best with None -> () | Some (_, op) -> drive t op
+
+  (* APPLY of Figure 4: announce, help everything at least as old,
+     read own response. *)
+  let slow_apply h kind k =
+    let t = h.table in
+    let prio = Atomic.fetch_and_add t.counter 1 in
+    let myop = F.make_op kind k ~prio in
+    Atomic.set t.slots.(h.tid) myop;
+    help_up_to t ~prio;
+    F.get_response myop
+
+  (* Policy triggers, identical in shape to the lock-free table's. *)
+  let after_insert h k ~resp = Core.after_insert h.table.core h.local ~key:k ~resp
+  let after_remove h ~resp = Core.after_remove h.table.core h.local ~resp
+end

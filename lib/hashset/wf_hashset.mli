@@ -1,0 +1,12 @@
+(** The wait-free dynamic-sized hash set (paper section 5): the
+    scaffolding of Figure 2 with the announce-and-help APPLY of
+    Figure 4 over a cooperative wait-free FSet.
+
+    Every insert, remove, and contains completes in a bounded number
+    of steps even under concurrent resizing: an operation that keeps
+    failing is eventually helped, because any thread that completes
+    two operations after ours was announced must first have completed
+    ours. [Make (Nbhash_fset.Wf_array_fset)] is the paper's WFArray;
+    [Make (Nbhash_fset.Wf_list_fset)] is WFList. *)
+
+module Make (F : Nbhash_fset.Fset_intf.WF) : Hashset_intf.S

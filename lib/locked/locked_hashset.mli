@@ -1,0 +1,11 @@
+(** A single-lock hash set (one mutex around a resizing array-based
+    table): the blocking strawman.
+
+    Not part of the paper's evaluation, but the natural calibration
+    point for the nonblocking tables: it bounds what a trivial
+    implementation costs per operation and shows where lock convoying
+    erases multi-thread throughput. It grows and shrinks under the
+    same {!Nbhash.Policy} thresholds as the nonblocking tables so
+    bucket-count comparisons are apples-to-apples. *)
+
+include Nbhash.Hashset_intf.S

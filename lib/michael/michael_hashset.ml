@@ -1,0 +1,59 @@
+module Policy = Nbhash.Policy
+module Hashset_intf = Nbhash.Hashset_intf
+module Ordered_list = Nbhash_splitorder.Ordered_list
+
+type t = { buckets : Ordered_list.node array; mask : int }
+type handle = t
+
+let name = "Michael"
+
+let create ?(policy = Policy.default) ?max_threads () =
+  ignore max_threads;
+  Policy.validate policy;
+  let size = policy.Policy.init_buckets in
+  { buckets = Array.init size (fun _ -> Ordered_list.make_head ()); mask = size - 1 }
+
+let register t = t
+
+(* Keys are stored directly (sorted by value) in per-bucket lists;
+   the sentinel head of each list carries [min_int]. *)
+let insert t k =
+  Hashset_intf.check_key k;
+  Ordered_list.insert ~start:t.buckets.(k land t.mask) k
+
+let remove t k =
+  Hashset_intf.check_key k;
+  Ordered_list.remove ~start:t.buckets.(k land t.mask) k
+
+let contains t k =
+  Hashset_intf.check_key k;
+  Ordered_list.mem ~start:t.buckets.(k land t.mask) k
+
+let bucket_count t = t.mask + 1
+let resize_stats _ = { Hashset_intf.grows = 0; shrinks = 0 }
+let force_resize _ ~grow:_ = ()
+
+let elements t =
+  Array.to_list t.buckets
+  |> List.concat_map (fun head -> Ordered_list.keys_from ~start:head ())
+  |> Array.of_list
+
+let cardinal t = Array.length (elements t)
+
+let bucket_sizes t =
+  Array.map
+    (fun head -> List.length (Ordered_list.keys_from ~start:head ()))
+    t.buckets
+
+let fail fmt = Format.kasprintf failwith fmt
+
+let check_invariants t =
+  Array.iteri
+    (fun i head ->
+      Ordered_list.check_sorted ~start:head;
+      List.iter
+        (fun k ->
+          if k land t.mask <> i then
+            fail "key %d misplaced in bucket %d of %d" k i (t.mask + 1))
+        (Ordered_list.keys_from ~start:head ()))
+    t.buckets

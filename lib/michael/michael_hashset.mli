@@ -1,0 +1,11 @@
+(** Michael's classic lock-free hash table: a fixed-size array of
+    lock-free ordered lists (the first practical nonblocking hash
+    table, cited as [15] in the paper).
+
+    Included as a non-resizable reference point: it shows what the
+    dynamic tables give up (nothing, when presized correctly) and what
+    they gain (graceful behaviour when the guess is wrong). The bucket
+    array is fixed at [policy.init_buckets]; [force_resize] is a
+    no-op in both directions. *)
+
+include Nbhash.Hashset_intf.S

@@ -1,0 +1,112 @@
+type node = { key : int; next : link Atomic.t }
+
+(* The link of a node both points at the successor and carries the
+   node's own deletion mark: [Dead succ] means the owner is logically
+   deleted. CAS on the containing [Atomic.t] compares the link values
+   physically, so every transition allocates a fresh link. *)
+and link = Live of node option | Dead of node option
+
+let make_node key = { key; next = Atomic.make (Live None) }
+let node_key n = n.key
+let make_head () = make_node min_int
+
+(* Search for [key] from [start], unlinking any logically deleted
+   nodes encountered. Returns [(prev, plink, curr)] where [prev] is
+   the last node with key < [key], [plink] is the Live link read from
+   [prev.next] (needed as the CAS witness for insertion), and [curr]
+   is the node [plink] points at: the first node with key >= [key], or
+   None. Restarts from [start] when an unlinking CAS is lost. *)
+let rec find start key =
+  let rec scan prev plink =
+    let curr = match plink with Live c -> c | Dead _ -> assert false in
+    match curr with
+    | None -> (prev, plink, None)
+    | Some c -> (
+      match Atomic.get c.next with
+      | Dead succ ->
+        let unlinked = Live succ in
+        if Atomic.compare_and_set prev.next plink unlinked then
+          scan prev unlinked
+        else find start key
+      | Live _ as clink ->
+        if c.key >= key then (prev, plink, Some c) else scan c clink)
+  in
+  match Atomic.get start.next with
+  | Live _ as plink -> scan start plink
+  | Dead _ ->
+    (* Start nodes (head and dummy sentinels) are never deleted. *)
+    assert false
+
+let rec insert_node start n =
+  let prev, plink, curr = find start n.key in
+  match curr with
+  | Some c when c.key = n.key -> (false, c)
+  | Some _ | None ->
+    Atomic.set n.next (Live curr);
+    if Atomic.compare_and_set prev.next plink (Live (Some n)) then (true, n)
+    else insert_node start n
+
+let insert ~start key =
+  assert (start.key < key);
+  fst (insert_node start (make_node key))
+
+let insert_or_find ~start key =
+  assert (start.key < key);
+  snd (insert_node start (make_node key))
+
+let rec remove ~start key =
+  let _, _, curr = find start key in
+  match curr with
+  | Some c when c.key = key -> (
+    match Atomic.get c.next with
+    | Dead _ -> false
+    | Live succ as l ->
+      if Atomic.compare_and_set c.next l (Dead succ) then begin
+        (* Physical unlinking is best-effort; find cleans up. *)
+        ignore (find start key);
+        true
+      end
+      else remove ~start key)
+  | Some _ | None -> false
+
+(* Pure traversal: skip past smaller keys following raw successor
+   pointers; a key is present iff its node is reached and unmarked. *)
+let mem ~start key =
+  let succ_of c = match Atomic.get c.next with Live s | Dead s -> s in
+  let rec go = function
+    | None -> false
+    | Some c ->
+      if c.key > key then false
+      else if c.key = key then (
+        match Atomic.get c.next with Dead _ -> false | Live _ -> true)
+      else go (succ_of c)
+  in
+  go (succ_of start)
+
+let keys_from ~start ?upto () =
+  let succ_of c = match Atomic.get c.next with Live s | Dead s -> s in
+  let below k = match upto with None -> true | Some u -> k < u in
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some c ->
+      if not (below c.key) then List.rev acc
+      else begin
+        let acc =
+          match Atomic.get c.next with Dead _ -> acc | Live _ -> c.key :: acc
+        in
+        go acc (succ_of c)
+      end
+  in
+  go [] (succ_of start)
+
+let check_sorted ~start =
+  let succ_of c = match Atomic.get c.next with Live s | Dead s -> s in
+  let rec go last = function
+    | None -> ()
+    | Some c ->
+      if c.key <= last then
+        Format.kasprintf failwith "ordered list out of order: %d after %d"
+          c.key last;
+      go c.key (succ_of c)
+  in
+  go start.key (succ_of start)

@@ -1,0 +1,17 @@
+(** The Shalev–Shavit split-ordered list: the lock-free extensible
+    hash table used as the paper's baseline (SplitOrder).
+
+    All keys live in one lock-free ordered list sorted by bit-reversed
+    key; buckets are lazily created dummy nodes that point into the
+    list, published through a two-level directory. Doubling the table
+    only adds dummy nodes — elements never move — which is the
+    recursive split-ordering trick. The known limitations the paper
+    contrasts against: the table {e never shrinks} ([force_resize
+    ~grow:false] is a no-op), dummy nodes are never reclaimed, and the
+    directory has a fixed maximum capacity. *)
+
+include Nbhash.Hashset_intf.S
+
+val dummy_count : t -> int
+(** Number of dummy (marker) nodes currently in the list — the
+    permanent residue the paper's introduction points at. *)

@@ -1,0 +1,42 @@
+type t = { prob : float array; alias : int array }
+
+let size t = Array.length t.prob
+
+(* Vose's stable construction: split indices into under- and
+   over-full (relative to the uniform share), pair them off, and
+   record for each cell the cutoff and the donor. *)
+let make weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Alias.make: empty distribution";
+  let total = Array.fold_left ( +. ) 0. weights in
+  if not (total > 0.) then invalid_arg "Alias.make: weights must sum > 0";
+  Array.iter
+    (fun w -> if w < 0. || Float.is_nan w then invalid_arg "Alias.make: bad weight")
+    weights;
+  let scaled =
+    Array.map (fun w -> w *. Float.of_int n /. total) weights
+  in
+  let prob = Array.make n 1. in
+  let alias = Array.init n Fun.id in
+  let small = Stack.create () and large = Stack.create () in
+  Array.iteri
+    (fun i p -> if p < 1. then Stack.push i small else Stack.push i large)
+    scaled;
+  while (not (Stack.is_empty small)) && not (Stack.is_empty large) do
+    let s = Stack.pop small and l = Stack.pop large in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+    if scaled.(l) < 1. then Stack.push l small else Stack.push l large
+  done;
+  (* leftovers are numerically 1.0 cells *)
+  { prob; alias }
+
+let draw t rng =
+  let n = Array.length t.prob in
+  let i = Xoshiro.below rng n in
+  if Xoshiro.float rng < t.prob.(i) then i else t.alias.(i)
+
+let zipf ~n ~s =
+  if n < 1 then invalid_arg "Alias.zipf: n < 1";
+  make (Array.init n (fun i -> 1. /. Float.pow (Float.of_int (i + 1)) s))

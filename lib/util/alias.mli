@@ -1,0 +1,21 @@
+(** Walker/Vose alias method: O(1) sampling from an arbitrary discrete
+    distribution after O(n) preprocessing.
+
+    The table is immutable after construction and may be shared freely
+    across domains; each draw uses only the caller's PRNG. Used for
+    Zipfian key popularity in the benchmark workloads. *)
+
+type t
+
+val make : float array -> t
+(** [make weights] builds a sampler over indices [0, n) with
+    probability proportional to [weights.(i)]. Weights must be
+    non-negative, with a positive sum. *)
+
+val draw : t -> Xoshiro.t -> int
+
+val size : t -> int
+
+val zipf : n:int -> s:float -> t
+(** The Zipf(s) distribution over [0, n): probability of rank [i]
+    proportional to [1 / (i+1)^s]. [s = 0] degenerates to uniform. *)

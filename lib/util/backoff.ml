@@ -1,0 +1,14 @@
+type t = { min_spins : int; max_spins : int; mutable window : int }
+
+let create ?(min_spins = 1) ?(max_spins = 1024) () =
+  assert (min_spins > 0 && max_spins >= min_spins);
+  { min_spins; max_spins; window = min_spins }
+
+let once t =
+  for _ = 1 to t.window do
+    Domain.cpu_relax ()
+  done;
+  t.window <- min t.max_spins (t.window * 2)
+
+let reset t = t.window <- t.min_spins
+let window t = t.window

@@ -1,0 +1,24 @@
+(** Truncated exponential backoff for CAS retry loops.
+
+    A fresh [t] is cheap (one record); reuse one per operation attempt
+    sequence and call {!once} after each failed CAS. *)
+
+type t
+
+val create : ?min_spins:int -> ?max_spins:int -> unit -> t
+(** Defaults: [min_spins = 1], [max_spins = 1024]. *)
+
+val once : t -> unit
+(** Spin for the current window (calling [Domain.cpu_relax]) and double
+    the window, saturating at [max_spins]. *)
+
+val reset : t -> unit
+
+val window : t -> int
+(** Current spin window, for tests and diagnostics.
+
+    Note: the hash tables in this repository deliberately do {e not}
+    back off — a failed CAS on a copy-on-write node means the state
+    changed and must be re-read anyway, and the paper's algorithms
+    retry immediately. The combinator is provided for embedders whose
+    contention profiles differ. *)

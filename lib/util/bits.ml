@@ -1,0 +1,54 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let log2 n =
+  assert (n > 0);
+  let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let highest_bit n =
+  assert (n > 0);
+  1 lsl log2 n
+
+let unset_msb n = n land lnot (highest_bit n)
+
+(* A 62-bit reversal built from byte-table lookups, working in two
+   31-bit halves so every intermediate fits in OCaml's 63-bit int:
+   rev62 (hi31 . lo31) = rev31 lo31 . rev31 hi31. *)
+let byte_rev =
+  let t = Array.make 256 0 in
+  for i = 0 to 255 do
+    let r = ref 0 in
+    for b = 0 to 7 do
+      if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (7 - b))
+    done;
+    t.(i) <- !r
+  done;
+  t
+
+let rev32 x =
+  let rev8 y = byte_rev.(y land 0xff) in
+  (rev8 x lsl 24)
+  lor (rev8 (x lsr 8) lsl 16)
+  lor (rev8 (x lsr 16) lsl 8)
+  lor rev8 (x lsr 24)
+
+let rev31 x = rev32 x lsr 1
+
+let reverse62 k =
+  let lo31 = k land 0x7FFFFFFF in
+  let hi31 = (k lsr 31) land 0x7FFFFFFF in
+  (rev31 lo31 lsl 31) lor rev31 hi31
+
+(* Keys are required to be < 2^61, so the low bit of [reverse62 k] is
+   always 0 and can carry the regular/dummy tag without shifting (which
+   would overflow the 63-bit int). *)
+let so_regular_key k = reverse62 k lor 1
+let so_dummy_key b = reverse62 b
+
+let popcount n =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+  go n 0

@@ -1,0 +1,43 @@
+(** Bit-manipulation helpers shared by the hash tables and the
+    split-ordered-list baseline.
+
+    All functions operate on non-negative OCaml [int]s (at most 62
+    significant bits), so every result is itself a valid non-negative
+    key or bucket index. *)
+
+val is_pow2 : int -> bool
+(** [is_pow2 n] is [true] iff [n] is a power of two ([n > 0]). *)
+
+val next_pow2 : int -> int
+(** [next_pow2 n] is the smallest power of two [>= max 1 n]. *)
+
+val log2 : int -> int
+(** [log2 n] is the position of the highest set bit of [n].
+    Requires [n > 0]; [log2 1 = 0], [log2 8 = 3]. *)
+
+val highest_bit : int -> int
+(** [highest_bit n] is a mask with only the most significant set bit of
+    [n]. Requires [n > 0]. *)
+
+val unset_msb : int -> int
+(** [unset_msb n] clears the most significant set bit of [n]: the
+    "parent bucket" function of the split-ordered list. Requires
+    [n > 0]. *)
+
+val reverse62 : int -> int
+(** [reverse62 k] reverses the low 62 bits of [k]. It is an involution
+    on [0, 2^62): [reverse62 (reverse62 k) = k]. *)
+
+val so_regular_key : int -> int
+(** Split-order key of a regular (data) node: bit-reversed and tagged
+    with a low 1 bit so it sorts after the dummy key of its bucket.
+    Requires [k < 2^61]. *)
+
+val so_dummy_key : int -> int
+(** Split-order key of a dummy (bucket sentinel) node: bit-reversed
+    with a low 0 bit. For every bucket [b] and key [k] with
+    [k mod 2^j = b], [so_dummy_key b < so_regular_key k].
+    Requires [b < 2^61]. *)
+
+val popcount : int -> int
+(** Number of set bits. *)

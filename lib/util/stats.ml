@@ -1,0 +1,49 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  assert (Array.length xs > 0);
+  Array.fold_left ( +. ) 0. xs /. Float.of_int (Array.length xs)
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) ** 2.)) 0. xs in
+    sqrt (acc /. Float.of_int (n - 1))
+  end
+
+let percentile xs p =
+  assert (Array.length xs > 0 && p >= 0. && p <= 100.);
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100. *. Float.of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. Float.of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let summarize xs =
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    median = percentile xs 50.;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f max=%.3f" s.n
+    s.mean s.stddev s.min s.median s.max

@@ -1,0 +1,23 @@
+(** Summary statistics over float samples, used by the benchmark
+    harness to report per-trial throughput. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** Requires a non-empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100], by linear interpolation on
+    the sorted samples. Requires a non-empty array. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val pp_summary : Format.formatter -> summary -> unit

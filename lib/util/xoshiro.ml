@@ -1,0 +1,35 @@
+type t = { mutable state : int }
+
+(* splitmix64-style constants truncated to OCaml's int width;
+   arithmetic silently wraps, which keeps the generator deterministic
+   across runs. *)
+let gamma = 0x1E3779B97F4A7C15
+
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
+
+let create seed = { state = mix (seed + gamma) }
+
+let next t =
+  t.state <- t.state + gamma;
+  mix t.state land max_int
+
+let split t = create (next t)
+
+let below t n =
+  assert (n > 0);
+  (* Rejection sampling over the smallest covering power of two keeps
+     the draw unbiased even for n close to a power of two. *)
+  if n land (n - 1) = 0 then next t land (n - 1)
+  else
+    let mask = Bits.next_pow2 n - 1 in
+    let rec draw () =
+      let v = next t land mask in
+      if v < n then v else draw ()
+    in
+    draw ()
+
+let float t = Float.of_int (next t) /. Float.of_int max_int
+let bool t = next t land 1 = 1

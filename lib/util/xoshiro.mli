@@ -1,0 +1,26 @@
+(** A small, fast, per-thread pseudo-random number generator.
+
+    Each worker domain owns its own [t]; there is no shared state, so
+    drawing numbers never synchronizes. The generator is a splitmix64
+    variant truncated to OCaml's native int width, which is more than
+    adequate for workload generation and randomized policy sampling. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes an independent stream. Streams created from
+    distinct seeds are uncorrelated for practical purposes. *)
+
+val split : t -> t
+(** [split rng] derives a new independent stream from [rng]. *)
+
+val next : t -> int
+(** A uniformly distributed non-negative int (62 bits). *)
+
+val below : t -> int -> int
+(** [below rng n] is uniform in [0, n). Requires [n > 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool

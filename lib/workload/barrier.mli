@@ -1,0 +1,11 @@
+(** A sense-reversing spin barrier for aligning worker domains at the
+    start and end of a timed measurement interval. *)
+
+type t
+
+val create : int -> t
+(** [create n] synchronizes groups of [n] participants. *)
+
+val wait : t -> unit
+(** Block (spinning) until all [n] participants have arrived; the
+    barrier then resets for reuse. *)

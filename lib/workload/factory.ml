@@ -1,0 +1,87 @@
+type ops = {
+  ins : int -> bool;
+  rem : int -> bool;
+  look : int -> bool;
+  force_resize : grow:bool -> unit;
+}
+
+type table = {
+  name : string;
+  new_handle : unit -> ops;
+  bucket_count : unit -> int;
+  cardinal : unit -> int;
+  elements : unit -> int array;
+  check_invariants : unit -> unit;
+  resize_stats : unit -> Nbhash.Hashset_intf.resize_stats;
+  bucket_sizes : unit -> int array;
+}
+
+type maker = ?policy:Nbhash.Policy.t -> ?max_threads:int -> unit -> table
+
+let of_module (module S : Nbhash.Hashset_intf.S) : maker =
+ fun ?policy ?max_threads () ->
+  let t = S.create ?policy ?max_threads () in
+  {
+    name = S.name;
+    new_handle =
+      (fun () ->
+        let h = S.register t in
+        {
+          ins = S.insert h;
+          rem = S.remove h;
+          look = S.contains h;
+          force_resize = (fun ~grow -> S.force_resize h ~grow);
+        });
+    bucket_count = (fun () -> S.bucket_count t);
+    cardinal = (fun () -> S.cardinal t);
+    elements = (fun () -> S.elements t);
+    check_invariants = (fun () -> S.check_invariants t);
+    resize_stats = (fun () -> S.resize_stats t);
+    bucket_sizes = (fun () -> S.bucket_sizes t);
+  }
+
+let adaptive_tuned ~fast_threshold : maker =
+ fun ?policy ?max_threads () ->
+  let module A = Nbhash.Tables.Adaptive in
+  let t = A.create_tuned ?policy ?max_threads ~fast_threshold () in
+  {
+    name = Printf.sprintf "Adaptive(%d)" fast_threshold;
+    new_handle =
+      (fun () ->
+        let h = A.register t in
+        {
+          ins = A.insert h;
+          rem = A.remove h;
+          look = A.contains h;
+          force_resize = (fun ~grow -> A.force_resize h ~grow);
+        });
+    bucket_count = (fun () -> A.bucket_count t);
+    cardinal = (fun () -> A.cardinal t);
+    elements = (fun () -> A.elements t);
+    check_invariants = (fun () -> A.check_invariants t);
+    resize_stats = (fun () -> A.resize_stats t);
+    bucket_sizes = (fun () -> A.bucket_sizes t);
+  }
+
+let all_eight =
+  [
+    ("SplitOrder", of_module (module Nbhash_splitorder.Split_ordered));
+    ("LFArray", of_module (module Nbhash.Tables.LFArray));
+    ("LFArrayOpt", of_module (module Nbhash.Tables.LFArrayOpt));
+    ("LFList", of_module (module Nbhash.Tables.LFList));
+    ("WFArray", of_module (module Nbhash.Tables.WFArray));
+    ("WFList", of_module (module Nbhash.Tables.WFList));
+    ("Adaptive", of_module (module Nbhash.Tables.Adaptive));
+    ("AdaptiveOpt", of_module (module Nbhash.Tables.AdaptiveOpt));
+  ]
+
+let with_michael =
+  all_eight
+  @ [
+      ("LFUlist", of_module (module Nbhash.Tables.LFUlist));
+      ("LFSorted", of_module (module Nbhash.Tables.LFSorted));
+      ("Michael", of_module (module Nbhash_michael.Michael_hashset));
+      ("Locked", of_module (module Nbhash_locked.Locked_hashset));
+    ]
+
+let by_name name = List.assoc name with_michael

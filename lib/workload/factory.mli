@@ -1,0 +1,46 @@
+(** Uniform, first-class access to every hash-set implementation, for
+    benchmarks and cross-implementation tests.
+
+    A {!table} packages one live structure behind closures so harness
+    code can drive any implementation without functor plumbing; the
+    per-operation indirect call taxes all implementations equally. *)
+
+type ops = {
+  ins : int -> bool;
+  rem : int -> bool;
+  look : int -> bool;
+  force_resize : grow:bool -> unit;
+}
+(** Per-thread operation bundle (wraps a registered handle). *)
+
+type table = {
+  name : string;
+  new_handle : unit -> ops;
+  bucket_count : unit -> int;
+  cardinal : unit -> int;
+  elements : unit -> int array;
+  check_invariants : unit -> unit;
+  resize_stats : unit -> Nbhash.Hashset_intf.resize_stats;
+  bucket_sizes : unit -> int array;
+}
+
+type maker = ?policy:Nbhash.Policy.t -> ?max_threads:int -> unit -> table
+
+val of_module : (module Nbhash.Hashset_intf.S) -> maker
+
+val adaptive_tuned : fast_threshold:int -> maker
+(** The Adaptive (array) table with a custom Fastpath/Slowpath
+    threshold, for the threshold ablation. *)
+
+val all_eight : (string * maker) list
+(** The eight algorithms of the paper's evaluation, in its order:
+    SplitOrder, LFArray, LFArrayOpt, LFList, WFArray, WFList,
+    Adaptive, AdaptiveOpt. *)
+
+val with_michael : (string * maker) list
+(** {!all_eight} plus the reference points outside the paper's
+    evaluation: the fixed-size Michael table and the single-lock
+    strawman. *)
+
+val by_name : string -> maker
+(** Raises [Not_found] for unknown names. *)

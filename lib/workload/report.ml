@@ -1,0 +1,40 @@
+let print_table ~header ~rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell -> Printf.sprintf "%*s" (List.nth widths c) cell)
+         row)
+  in
+  print_endline (line header);
+  print_endline
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> print_endline (line row)) rows
+
+let ops_per_usec x = Printf.sprintf "%.3f" x
+
+let print_heading s =
+  print_newline ();
+  print_endline s;
+  print_endline (String.make (String.length s) '=')
+
+let csv_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv ~path ~header ~rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun row ->
+          output_string oc (String.concat "," (List.map csv_cell row));
+          output_char oc '\n')
+        (header :: rows))

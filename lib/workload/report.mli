@@ -1,0 +1,15 @@
+(** Plain-text table rendering for benchmark output, matching the
+    "rows and series" style of the paper's charts. *)
+
+val print_table : header:string list -> rows:string list list -> unit
+(** Column-aligned rendering to stdout. *)
+
+val ops_per_usec : float -> string
+(** Fixed-format throughput cell. *)
+
+val print_heading : string -> unit
+(** An underlined section heading. *)
+
+val write_csv : path:string -> header:string list -> rows:string list list -> unit
+(** Write the same table as comma-separated values (cells containing
+    commas or quotes are quoted). *)

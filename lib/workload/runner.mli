@@ -1,0 +1,43 @@
+(** Multi-domain throughput measurement, reproducing the paper's
+    methodology: prepopulate to half the key range, run randomly mixed
+    operations for a fixed wall-clock interval on every thread, report
+    aggregate operations per microsecond, and average several trials.
+
+    Caveat recorded in DESIGN.md: this machine exposes a single core,
+    so domain counts above 1 measure oversubscribed (time-sliced)
+    execution, not parallel speedup. *)
+
+type result = {
+  table : string;
+  threads : int;
+  spec : Workload.spec;
+  duration : float;  (** measured seconds *)
+  total_ops : int;
+  throughput : float;  (** operations per microsecond, aggregate *)
+  final_buckets : int;
+  final_cardinal : int;
+}
+
+val prepopulate : Factory.table -> Workload.spec -> seed:int -> unit
+(** Insert each key of the range independently with probability
+    [spec.prepopulate]. *)
+
+val run :
+  Factory.table ->
+  threads:int ->
+  spec:Workload.spec ->
+  duration:float ->
+  ?seed:int ->
+  unit ->
+  result
+(** One trial on a freshly prepopulated table. *)
+
+val run_trials :
+  (unit -> Factory.table) ->
+  threads:int ->
+  spec:Workload.spec ->
+  duration:float ->
+  trials:int ->
+  result * Nbhash_util.Stats.summary
+(** Fresh table per trial; returns the last result and the summary of
+    per-trial throughputs. *)

@@ -1,0 +1,52 @@
+type kind = Lookup | Insert | Remove
+
+type distribution = Uniform | Zipf of float
+
+type sampler = Any | Ranked of Nbhash_util.Alias.t
+
+type spec = {
+  key_range : int;
+  lookup_ratio : float;
+  prepopulate : float;
+  sampler : sampler;
+}
+
+let spec ?(lookup_ratio = 0.) ?(prepopulate = 0.5) ?(dist = Uniform)
+    ~key_range () =
+  if key_range < 2 then invalid_arg "key_range < 2";
+  if lookup_ratio < 0. || lookup_ratio > 1. then invalid_arg "lookup_ratio";
+  if prepopulate < 0. || prepopulate > 1. then invalid_arg "prepopulate";
+  let sampler =
+    match dist with
+    | Uniform -> Any
+    | Zipf s ->
+      if s < 0. then invalid_arg "Zipf exponent < 0";
+      Ranked (Nbhash_util.Alias.zipf ~n:key_range ~s)
+  in
+  { key_range; lookup_ratio; prepopulate; sampler }
+
+(* Zipf ranks map to keys through a cheap bijective scramble so the
+   popular keys do not all collide into low-numbered buckets. *)
+let scramble spec rank =
+  (rank * 0x9E3779B1) land (spec.key_range - 1)
+
+let draw_key spec rng =
+  match spec.sampler with
+  | Any -> Nbhash_util.Xoshiro.below rng spec.key_range
+  | Ranked alias ->
+    let rank = Nbhash_util.Alias.draw alias rng in
+    if Nbhash_util.Bits.is_pow2 spec.key_range then scramble spec rank
+    else rank
+
+let next spec rng =
+  let k = draw_key spec rng in
+  let r = Nbhash_util.Xoshiro.float rng in
+  if r < spec.lookup_ratio then (Lookup, k)
+  else if r < spec.lookup_ratio +. ((1. -. spec.lookup_ratio) /. 2.) then
+    (Insert, k)
+  else (Remove, k)
+
+let pp_spec ppf s =
+  Format.fprintf ppf "range=2^%d L=%.0f%%"
+    (Nbhash_util.Bits.log2 s.key_range)
+    (s.lookup_ratio *. 100.)

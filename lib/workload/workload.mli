@@ -1,0 +1,38 @@
+(** The paper's stress-test microbenchmark workload (section 8): for a
+    lookup ratio L, operations are lookups with probability L and
+    inserts/removes with probability (1-L)/2 each, on keys drawn
+    uniformly from a fixed range; tables are prepopulated to half the
+    range, so occupancy stays steady. *)
+
+type kind = Lookup | Insert | Remove
+
+type distribution =
+  | Uniform
+  | Zipf of float
+      (** key popularity follows Zipf(s): rank-i key drawn with
+          probability proportional to 1/(i+1)^s. Keys are permuted so
+          popular keys spread across buckets. *)
+
+type spec = {
+  key_range : int;  (** keys are drawn from [0, key_range) *)
+  lookup_ratio : float;  (** L in [0, 1] *)
+  prepopulate : float;  (** fraction of the range inserted up front *)
+  sampler : sampler;
+}
+
+and sampler
+
+val spec :
+  ?lookup_ratio:float ->
+  ?prepopulate:float ->
+  ?dist:distribution ->
+  key_range:int ->
+  unit ->
+  spec
+(** Defaults: [lookup_ratio = 0.], [prepopulate = 0.5],
+    [dist = Uniform]. *)
+
+val next : spec -> Nbhash_util.Xoshiro.t -> kind * int
+(** Draw the next operation. *)
+
+val pp_spec : Format.formatter -> spec -> unit

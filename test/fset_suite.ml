@@ -1,0 +1,107 @@
+(* Conformance suite applied to every lock-free FSet implementation:
+   sequential semantics against the Seq_fset oracle, freeze semantics,
+   and randomized trace equivalence. *)
+
+open Nbhash_fset
+
+module Make (F : Fset_intf.S) = struct
+  let apply_op t kind k =
+    let op = F.make_op kind k in
+    Alcotest.(check bool) "invoke on mutable set succeeds" true (F.invoke t op);
+    F.get_response op
+
+  let ins t k = apply_op t Fset_intf.Ins k
+  let rem t k = apply_op t Fset_intf.Rem k
+
+  let test_create_elements () =
+    let t = F.create [| 1; 2; 3 |] in
+    Alcotest.(check bool) "elements" true
+      (Intset.equal_as_sets [| 1; 2; 3 |] (F.elements t));
+    Alcotest.(check int) "size" 3 (F.size t);
+    Alcotest.(check bool) "not frozen" false (F.is_frozen t)
+
+  let test_insert_semantics () =
+    let t = F.create [||] in
+    Alcotest.(check bool) "new key" true (ins t 5);
+    Alcotest.(check bool) "duplicate" false (ins t 5);
+    Alcotest.(check bool) "member" true (F.has_member t 5);
+    Alcotest.(check bool) "other key" true (ins t 9);
+    Alcotest.(check int) "size" 2 (F.size t)
+
+  let test_remove_semantics () =
+    let t = F.create [| 4; 8 |] in
+    Alcotest.(check bool) "present" true (rem t 4);
+    Alcotest.(check bool) "gone" false (F.has_member t 4);
+    Alcotest.(check bool) "absent" false (rem t 4);
+    Alcotest.(check bool) "untouched" true (F.has_member t 8)
+
+  let test_freeze () =
+    let t = F.create [| 1; 2 |] in
+    let final = F.freeze t in
+    Alcotest.(check bool) "freeze returns contents" true
+      (Intset.equal_as_sets [| 1; 2 |] final);
+    Alcotest.(check bool) "frozen" true (F.is_frozen t);
+    let op = F.make_op Fset_intf.Ins 7 in
+    Alcotest.(check bool) "invoke on frozen fails" false (F.invoke t op);
+    Alcotest.(check bool) "set unchanged" true
+      (Intset.equal_as_sets [| 1; 2 |] (F.elements t));
+    Alcotest.(check bool) "has_member still works" true (F.has_member t 1)
+
+  let test_freeze_idempotent () =
+    let t = F.create [| 6 |] in
+    let a = F.freeze t in
+    let b = F.freeze t in
+    Alcotest.(check bool) "same final state" true (Intset.equal_as_sets a b)
+
+  let test_freeze_empty () =
+    let t = F.create [||] in
+    Alcotest.(check int) "empty freeze" 0 (Array.length (F.freeze t))
+
+  (* Random traces checked against the Figure 1 specification. *)
+  let trace_gen =
+    QCheck2.Gen.(
+      small_list (pair bool (int_bound 15))
+      |> map
+           (List.map (fun (is_ins, k) ->
+                ((if is_ins then Fset_intf.Ins else Fset_intf.Rem), k))))
+
+  let prop_trace_equivalence =
+    QCheck2.Test.make
+      ~name:(F.id ^ ": random traces match the sequential specification")
+      ~count:300 trace_gen
+      (fun ops ->
+        let t = F.create [| 0; 2; 4 |] in
+        let m = Seq_fset.create [| 0; 2; 4 |] in
+        List.for_all
+          (fun (kind, k) ->
+            let got = apply_op t kind k in
+            let mop = Seq_fset.make_op kind k in
+            ignore (Seq_fset.invoke m mop);
+            got = Seq_fset.get_response mop)
+          ops
+        && Intset.equal_as_sets (F.elements t) (Seq_fset.elements m))
+
+  let prop_freeze_point =
+    QCheck2.Test.make
+      ~name:(F.id ^ ": freeze captures exactly the pre-freeze state")
+      ~count:200 trace_gen
+      (fun ops ->
+        let t = F.create [||] in
+        List.iter (fun (kind, k) -> ignore (apply_op t kind k)) ops;
+        let before = F.elements t in
+        let final = F.freeze t in
+        Intset.equal_as_sets before final)
+
+  let suite =
+    ( "fset-" ^ F.id,
+      [
+        Alcotest.test_case "create/elements" `Quick test_create_elements;
+        Alcotest.test_case "insert semantics" `Quick test_insert_semantics;
+        Alcotest.test_case "remove semantics" `Quick test_remove_semantics;
+        Alcotest.test_case "freeze" `Quick test_freeze;
+        Alcotest.test_case "freeze idempotent" `Quick test_freeze_idempotent;
+        Alcotest.test_case "freeze empty" `Quick test_freeze_empty;
+        QCheck_alcotest.to_alcotest prop_trace_equivalence;
+        QCheck_alcotest.to_alcotest prop_freeze_point;
+      ] )
+end

@@ -1,0 +1,95 @@
+(* A bounded linearizability checker for set histories (Wing & Gong
+   style backtracking).
+
+   Worker domains timestamp each operation with tickets drawn from one
+   atomic counter before invocation and after response, giving a
+   real-time partial order. [check] then searches for a legal
+   sequential ordering of the whole history: an event may linearize
+   next only if no unlinearized event finished before it started
+   (real-time respect) and its recorded result matches the model set.
+   Key spaces are tiny (< 61 keys) so the model state fits in an int
+   bitmask and positions can be memoized. *)
+
+type op = Ins of int | Rem of int | Mem of int
+
+type event = { op : op; result : bool; start_t : int; end_t : int }
+
+type recorder = { ticket : int Atomic.t; events : event list Atomic.t }
+
+let recorder () = { ticket = Atomic.make 0; events = Atomic.make [] }
+
+(* Run [f] and record its timed outcome. Thread-safe. *)
+let record r op f =
+  let start_t = Atomic.fetch_and_add r.ticket 1 in
+  let result = f () in
+  let end_t = Atomic.fetch_and_add r.ticket 1 in
+  let e = { op; result; start_t; end_t } in
+  let rec push () =
+    let old = Atomic.get r.events in
+    if not (Atomic.compare_and_set r.events old (e :: old)) then push ()
+  in
+  push ()
+
+let events r = Atomic.get r.events
+
+let key_of = function Ins k | Rem k | Mem k -> k
+
+(* Apply an event to the bitmask state; None if its result is
+   inconsistent with the state. *)
+let step state e =
+  let bit = 1 lsl key_of e.op in
+  let present = state land bit <> 0 in
+  match e.op with
+  | Ins _ ->
+    if e.result = not present then Some (state lor bit) else None
+  | Rem _ ->
+    if e.result = present then Some (state land lnot bit) else None
+  | Mem _ -> if e.result = present then Some state else None
+
+let check evs =
+  let evs = Array.of_list evs in
+  let n = Array.length evs in
+  assert (n <= 62);
+  Array.iter (fun e -> assert (key_of e.op < 61)) evs;
+  let full = (1 lsl n) - 1 in
+  let dead = Hashtbl.create 1024 in
+  let rec go mask state =
+    mask = full
+    || (not (Hashtbl.mem dead (mask, state)))
+       &&
+       let progress = ref false in
+       (let i = ref 0 in
+        while (not !progress) && !i < n do
+          let e = evs.(!i) in
+          let pending = mask land (1 lsl !i) = 0 in
+          if pending then begin
+            (* minimal: no other pending event returned before e began *)
+            let minimal = ref true in
+            for j = 0 to n - 1 do
+              if
+                mask land (1 lsl j) = 0
+                && j <> !i
+                && evs.(j).end_t < e.start_t
+              then minimal := false
+            done;
+            if !minimal then
+              match step state e with
+              | Some state' ->
+                if go (mask lor (1 lsl !i)) state' then progress := true
+              | None -> ()
+          end;
+          incr i
+        done);
+       if not !progress then Hashtbl.replace dead (mask, state) ();
+       !progress
+  in
+  go 0 0
+
+let pp_event ppf e =
+  let name, k =
+    match e.op with Ins k -> ("ins", k) | Rem k -> ("rem", k) | Mem k -> ("mem", k)
+  in
+  Format.fprintf ppf "[%d,%d] %s %d -> %b" e.start_t e.end_t name k e.result
+
+let pp_history ppf evs =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) evs

@@ -1,0 +1,319 @@
+(* Conformance suite applied to every hash-set implementation.
+   Sequential semantics are checked against a Hashtbl model on random
+   traces that interleave forced resizes; explicit grow/shrink
+   migration tests validate the freeze-and-migrate machinery and the
+   Figure 3 refinement invariants. *)
+
+module type CAPS = sig
+  val can_grow : bool
+  val can_shrink : bool
+end
+
+module Make (S : Nbhash.Hashset_intf.S) (C : CAPS) = struct
+  let no_resize_policy = Nbhash.Policy.presized 8
+
+  let fresh ?(policy = no_resize_policy) () =
+    let t = S.create ~policy () in
+    (t, S.register t)
+
+  let test_empty () =
+    let t, h = fresh () in
+    Alcotest.(check bool) "no member" false (S.contains h 3);
+    Alcotest.(check int) "cardinal" 0 (S.cardinal t);
+    Alcotest.(check bool) "remove on empty" false (S.remove h 3)
+
+  let test_insert_contains_remove () =
+    let _, h = fresh () in
+    Alcotest.(check bool) "insert new" true (S.insert h 10);
+    Alcotest.(check bool) "insert dup" false (S.insert h 10);
+    Alcotest.(check bool) "contains" true (S.contains h 10);
+    Alcotest.(check bool) "absent" false (S.contains h 11);
+    Alcotest.(check bool) "remove" true (S.remove h 10);
+    Alcotest.(check bool) "remove again" false (S.remove h 10);
+    Alcotest.(check bool) "gone" false (S.contains h 10)
+
+  let test_key_validation () =
+    let _, h = fresh () in
+    Alcotest.check_raises "negative key" (Invalid_argument
+      "key must be a non-negative int below 2^61") (fun () ->
+        ignore (S.insert h (-1)))
+
+  let test_zero_and_large_keys () =
+    let _, h = fresh () in
+    let big = (1 lsl 61) - 1 in
+    Alcotest.(check bool) "zero" true (S.insert h 0);
+    Alcotest.(check bool) "largest" true (S.insert h big);
+    Alcotest.(check bool) "zero present" true (S.contains h 0);
+    Alcotest.(check bool) "largest present" true (S.contains h big);
+    Alcotest.(check bool) "largest removable" true (S.remove h big)
+
+  let test_many_keys () =
+    let t, h = fresh ~policy:Nbhash.Policy.default () in
+    for k = 0 to 999 do
+      Alcotest.(check bool) "inserted" true (S.insert h (k * 7))
+    done;
+    Alcotest.(check int) "cardinal" 1000 (S.cardinal t);
+    for k = 0 to 999 do
+      Alcotest.(check bool) "present" true (S.contains h (k * 7))
+    done;
+    S.check_invariants t
+
+  let test_elements () =
+    let t, h = fresh () in
+    List.iter (fun k -> ignore (S.insert h k)) [ 5; 1; 9; 1 ];
+    let sorted = S.elements t in
+    Array.sort compare sorted;
+    Alcotest.(check (array int)) "elements" [| 1; 5; 9 |] sorted
+
+  let test_forced_grow_migrates () =
+    if C.can_grow then begin
+      let t, h = fresh () in
+      let keys = List.init 200 (fun i -> (i * 13) + 1) in
+      List.iter (fun k -> ignore (S.insert h k)) keys;
+      let before = S.bucket_count t in
+      S.force_resize h ~grow:true;
+      S.force_resize h ~grow:true;
+      Alcotest.(check int) "bucket array quadrupled" (before * 4)
+        (S.bucket_count t);
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) "still present after grow" true
+            (S.contains h k))
+        keys;
+      Alcotest.(check int) "cardinal preserved" 200 (S.cardinal t);
+      S.check_invariants t
+    end
+
+  let test_forced_shrink_migrates () =
+    if C.can_shrink then begin
+      let t, h = fresh () in
+      let keys = List.init 200 (fun i -> (i * 13) + 1) in
+      List.iter (fun k -> ignore (S.insert h k)) keys;
+      S.force_resize h ~grow:true;
+      let grown = S.bucket_count t in
+      S.force_resize h ~grow:false;
+      S.force_resize h ~grow:false;
+      Alcotest.(check int) "bucket array quartered" (grown / 4)
+        (S.bucket_count t);
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) "still present after shrink" true
+            (S.contains h k))
+        keys;
+      S.check_invariants t
+    end
+
+  let test_shrink_to_one_bucket () =
+    if C.can_shrink then begin
+      let t, h = fresh () in
+      List.iter (fun k -> ignore (S.insert h k)) [ 3; 11; 19 ];
+      for _ = 1 to 10 do
+        S.force_resize h ~grow:false
+      done;
+      Alcotest.(check int) "floor of one bucket" 1 (S.bucket_count t);
+      Alcotest.(check bool) "still present" true (S.contains h 11);
+      S.check_invariants t
+    end
+
+  let test_policy_growth () =
+    if C.can_grow then begin
+      let t, h =
+        fresh ~policy:{ Nbhash.Policy.default with init_buckets = 1 } ()
+      in
+      let before = S.bucket_count t in
+      for k = 0 to 2999 do
+        ignore (S.insert h k)
+      done;
+      Alcotest.(check bool) "table grew under load" true
+        (S.bucket_count t > before);
+      for k = 0 to 2999 do
+        Alcotest.(check bool) "present" true (S.contains h k)
+      done;
+      S.check_invariants t
+    end
+
+  let test_policy_shrink () =
+    if C.can_shrink then begin
+      let t, h = fresh ~policy:Nbhash.Policy.aggressive () in
+      for k = 0 to 999 do
+        ignore (S.insert h k)
+      done;
+      let peak = S.bucket_count t in
+      for k = 0 to 999 do
+        ignore (S.remove h k)
+      done;
+      (* Empty-table removes keep triggering the sampling heuristic. *)
+      for _ = 1 to 2000 do
+        ignore (S.remove h 0)
+      done;
+      Alcotest.(check bool) "table shrank when drained" true
+        (S.bucket_count t < peak);
+      Alcotest.(check int) "empty" 0 (S.cardinal t);
+      S.check_invariants t
+    end
+
+  let test_resize_stats () =
+    let t, h = fresh () in
+    let base = S.resize_stats t in
+    Alcotest.(check int) "no grows initially" 0 base.Nbhash.Hashset_intf.grows;
+    Alcotest.(check int) "no shrinks initially" 0
+      base.Nbhash.Hashset_intf.shrinks;
+    S.force_resize h ~grow:true;
+    S.force_resize h ~grow:true;
+    S.force_resize h ~grow:false;
+    let s = S.resize_stats t in
+    if C.can_grow then
+      Alcotest.(check int) "grows counted" 2 s.Nbhash.Hashset_intf.grows
+    else Alcotest.(check int) "grow no-op" 0 s.Nbhash.Hashset_intf.grows;
+    if C.can_shrink then
+      Alcotest.(check int) "shrinks counted" 1 s.Nbhash.Hashset_intf.shrinks
+    else Alcotest.(check int) "shrink no-op" 0 s.Nbhash.Hashset_intf.shrinks
+
+  let test_max_buckets_cap () =
+    if C.can_grow then begin
+      let policy =
+        { (Nbhash.Policy.presized 4) with max_buckets = 8; min_buckets = 1 }
+      in
+      let t = S.create ~policy () in
+      let h = S.register t in
+      for _ = 1 to 5 do
+        S.force_resize h ~grow:true
+      done;
+      Alcotest.(check int) "capped at max_buckets" 8 (S.bucket_count t);
+      Alcotest.(check int) "only one grow possible" 1
+        (S.resize_stats t).Nbhash.Hashset_intf.grows
+    end
+
+  let test_min_buckets_floor () =
+    if C.can_shrink then begin
+      let policy =
+        { (Nbhash.Policy.presized 8) with min_buckets = 4; max_buckets = 64 }
+      in
+      let t = S.create ~policy () in
+      let h = S.register t in
+      for _ = 1 to 5 do
+        S.force_resize h ~grow:false
+      done;
+      Alcotest.(check int) "floored at min_buckets" 4 (S.bucket_count t)
+    end
+
+  (* The Load_factor band: after bulk inserts the table settles with
+     a bounded average occupancy; after draining it settles small. *)
+  let test_load_factor_band () =
+    if C.can_grow && C.can_shrink then begin
+      let policy =
+        {
+          Nbhash.Policy.default with
+          heuristic = Nbhash.Policy.Load_factor { grow = 6.0; shrink = 1.5 };
+        }
+      in
+      let t = S.create ~policy () in
+      let h = S.register t in
+      let n = 6_000 in
+      for k = 0 to n - 1 do
+        ignore (S.insert h k)
+      done;
+      let buckets = S.bucket_count t in
+      let avg = float_of_int n /. float_of_int buckets in
+      if avg > 7.0 then
+        Alcotest.failf "average occupancy %.1f above the grow load" avg;
+      if avg < 1.0 then
+        Alcotest.failf "average occupancy %.1f suspiciously low" avg;
+      for k = 0 to n - 1 do
+        ignore (S.remove h k)
+      done;
+      for _ = 1 to 500 do
+        ignore (S.remove h 0)
+      done;
+      Alcotest.(check bool) "drained table shrank" true
+        (S.bucket_count t < buckets);
+      S.check_invariants t
+    end
+
+  (* Random traces (operations plus occasional forced resizes) against
+     a Hashtbl model. *)
+  type step = Op of Nbhash_workload.Workload.kind * int | Grow | Shrink
+
+  let step_gen =
+    QCheck2.Gen.(
+      frequency
+        [
+          ( 10,
+            map2
+              (fun c k ->
+                let kind =
+                  match c mod 3 with
+                  | 0 -> Nbhash_workload.Workload.Insert
+                  | 1 -> Nbhash_workload.Workload.Remove
+                  | _ -> Nbhash_workload.Workload.Lookup
+                in
+                Op (kind, k))
+              (int_bound 2) (int_bound 63) );
+          (1, return Grow);
+          (1, return Shrink);
+        ])
+
+  let prop_model_equivalence =
+    QCheck2.Test.make
+      ~name:(S.name ^ ": random traces with resizes match a model")
+      ~count:200
+      QCheck2.Gen.(list_size (int_range 0 200) step_gen)
+      (fun steps ->
+        let t, h = fresh ~policy:(Nbhash.Policy.presized 4) () in
+        let model = Hashtbl.create 64 in
+        let ok =
+          List.for_all
+            (fun step ->
+              match step with
+              | Grow ->
+                if C.can_grow && S.bucket_count t < 1024 then
+                  S.force_resize h ~grow:true;
+                true
+              | Shrink ->
+                if C.can_shrink then S.force_resize h ~grow:false;
+                true
+              | Op (Nbhash_workload.Workload.Insert, k) ->
+                let expected = not (Hashtbl.mem model k) in
+                Hashtbl.replace model k ();
+                S.insert h k = expected
+              | Op (Nbhash_workload.Workload.Remove, k) ->
+                let expected = Hashtbl.mem model k in
+                Hashtbl.remove model k;
+                S.remove h k = expected
+              | Op (Nbhash_workload.Workload.Lookup, k) ->
+                S.contains h k = Hashtbl.mem model k)
+            steps
+        in
+        S.check_invariants t;
+        let final = S.elements t in
+        Array.sort compare final;
+        let expected =
+          Hashtbl.fold (fun k () acc -> k :: acc) model [] |> List.sort compare
+        in
+        ok && Array.to_list final = expected)
+
+  let suite =
+    ( "set-" ^ S.name,
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "insert/contains/remove" `Quick
+          test_insert_contains_remove;
+        Alcotest.test_case "key validation" `Quick test_key_validation;
+        Alcotest.test_case "zero and large keys" `Quick
+          test_zero_and_large_keys;
+        Alcotest.test_case "many keys" `Quick test_many_keys;
+        Alcotest.test_case "elements" `Quick test_elements;
+        Alcotest.test_case "forced grow migrates" `Quick
+          test_forced_grow_migrates;
+        Alcotest.test_case "forced shrink migrates" `Quick
+          test_forced_shrink_migrates;
+        Alcotest.test_case "shrink floor" `Quick test_shrink_to_one_bucket;
+        Alcotest.test_case "policy-driven growth" `Quick test_policy_growth;
+        Alcotest.test_case "policy-driven shrink" `Quick test_policy_shrink;
+        Alcotest.test_case "resize stats" `Quick test_resize_stats;
+        Alcotest.test_case "max_buckets cap" `Quick test_max_buckets_cap;
+        Alcotest.test_case "min_buckets floor" `Quick test_min_buckets_floor;
+        Alcotest.test_case "load-factor band" `Quick test_load_factor_band;
+        QCheck_alcotest.to_alcotest prop_model_equivalence;
+      ] )
+end

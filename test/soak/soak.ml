@@ -1,0 +1,102 @@
+(* Long-running soak harness (not part of `dune runtest`):
+
+     dune exec test/soak/soak.exe -- [seconds-per-table] [table ...]
+
+   For each implementation: worker domains run a mixed workload with
+   per-key success ledgers while a dedicated domain storms resizes;
+   at the end the ledger equation and the structural invariants are
+   checked. Exit status is non-zero on any violation. Default: 10
+   seconds per table, all tables. *)
+
+module Factory = Nbhash_workload.Factory
+
+let domains = 4
+let key_range = 256
+
+let soak_table name (maker : Factory.maker) ~seconds =
+  Printf.printf "%-12s soaking %.0fs ... %!" name seconds;
+  let table = maker ~policy:Nbhash.Policy.aggressive ~max_threads:8 () in
+  let ins_succ = Array.init domains (fun _ -> Array.make key_range 0) in
+  let rem_succ = Array.init domains (fun _ -> Array.make key_range 0) in
+  let stop = Atomic.make false in
+  let total_ops = Atomic.make 0 in
+  let worker d () =
+    let ops = table.Factory.new_handle () in
+    let rng = Nbhash_util.Xoshiro.create (9000 + d) in
+    let n = ref 0 in
+    while not (Atomic.get stop) do
+      incr n;
+      let k = Nbhash_util.Xoshiro.below rng key_range in
+      match Nbhash_util.Xoshiro.below rng 3 with
+      | 0 -> if ops.Factory.ins k then ins_succ.(d).(k) <- ins_succ.(d).(k) + 1
+      | 1 -> if ops.Factory.rem k then rem_succ.(d).(k) <- rem_succ.(d).(k) + 1
+      | _ -> ignore (ops.Factory.look k)
+    done;
+    ignore (Atomic.fetch_and_add total_ops !n)
+  in
+  let stormer () =
+    let ops = table.Factory.new_handle () in
+    let i = ref 0 in
+    while not (Atomic.get stop) do
+      incr i;
+      ops.Factory.force_resize ~grow:(!i mod 2 = 0);
+      for _ = 1 to 1_000 do
+        Domain.cpu_relax ()
+      done
+    done
+  in
+  let ds =
+    Domain.spawn stormer :: List.init domains (fun d -> Domain.spawn (worker d))
+  in
+  Unix.sleepf seconds;
+  Atomic.set stop true;
+  List.iter Domain.join ds;
+  table.Factory.check_invariants ();
+  let final = table.Factory.elements () in
+  let mem k = Array.exists (fun x -> x = k) final in
+  let violations = ref 0 in
+  for k = 0 to key_range - 1 do
+    let net = ref 0 in
+    for d = 0 to domains - 1 do
+      net := !net + ins_succ.(d).(k) - rem_succ.(d).(k)
+    done;
+    if not ((!net = 0 || !net = 1) && (!net = 1) = mem k) then begin
+      incr violations;
+      Printf.printf "\n  VIOLATION key %d: net=%d mem=%b" k !net (mem k)
+    end
+  done;
+  let stats = table.Factory.resize_stats () in
+  Printf.printf "%d ops, %d grows, %d shrinks, %d violations\n"
+    (Atomic.get total_ops) stats.Nbhash.Hashset_intf.grows
+    stats.Nbhash.Hashset_intf.shrinks !violations;
+  !violations = 0
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let seconds, names =
+    match args with
+    | s :: rest when float_of_string_opt s <> None ->
+      (float_of_string s, rest)
+    | rest -> (10., rest)
+  in
+  let chosen =
+    match names with
+    | [] -> Factory.with_michael
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n Factory.with_michael with
+          | Some m -> (n, m)
+          | None ->
+            Printf.eprintf "unknown table %s\n" n;
+            exit 2)
+        names
+  in
+  let ok =
+    List.for_all (fun (n, m) -> soak_table n m ~seconds) chosen
+  in
+  if ok then print_endline "soak passed"
+  else begin
+    print_endline "soak FAILED";
+    exit 1
+  end

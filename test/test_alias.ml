@@ -1,0 +1,113 @@
+open Nbhash_util
+
+let draw_histogram t ~draws ~seed =
+  let h = Array.make (Alias.size t) 0 in
+  let rng = Xoshiro.create seed in
+  for _ = 1 to draws do
+    let i = Alias.draw t rng in
+    h.(i) <- h.(i) + 1
+  done;
+  h
+
+let test_validation () =
+  (match Alias.make [||] with
+  | _ -> Alcotest.fail "empty accepted"
+  | exception Invalid_argument _ -> ());
+  (match Alias.make [| 0.; 0. |] with
+  | _ -> Alcotest.fail "zero-sum accepted"
+  | exception Invalid_argument _ -> ());
+  match Alias.make [| 1.; -1. |] with
+  | _ -> Alcotest.fail "negative weight accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_point_mass () =
+  let t = Alias.make [| 0.; 1.; 0. |] in
+  let h = draw_histogram t ~draws:1_000 ~seed:1 in
+  Alcotest.(check int) "all mass on index 1" 1_000 h.(1)
+
+let test_uniformish () =
+  let t = Alias.make [| 1.; 1.; 1.; 1. |] in
+  let h = draw_histogram t ~draws:40_000 ~seed:2 in
+  Array.iter
+    (fun c ->
+      if c < 9_000 || c > 11_000 then
+        Alcotest.failf "uniform cell count %d outside [9000,11000]" c)
+    h
+
+let test_proportions () =
+  let t = Alias.make [| 3.; 1. |] in
+  let h = draw_histogram t ~draws:40_000 ~seed:3 in
+  let ratio = Float.of_int h.(0) /. Float.of_int h.(1) in
+  Alcotest.(check bool) "3:1 within 15%" true (ratio > 2.55 && ratio < 3.45)
+
+let test_zipf_monotone () =
+  let t = Alias.zipf ~n:16 ~s:1.0 in
+  let h = draw_histogram t ~draws:100_000 ~seed:4 in
+  (* Counts decrease in rank statistically; adjacent high ranks are
+     within noise of each other, so compare with generous slack and
+     also check the aggregate head/tail split (enormous margin). *)
+  for i = 0 to 13 do
+    if Float.of_int h.(i) *. 1.2 +. 100. < Float.of_int h.(i + 2) then
+      Alcotest.failf "zipf counts not decreasing: h(%d)=%d < h(%d)=%d" i h.(i)
+        (i + 2)
+        h.(i + 2)
+  done;
+  let sum lo hi = Array.fold_left ( + ) 0 (Array.sub h lo (hi - lo)) in
+  Alcotest.(check bool) "head half dominates tail half" true
+    (sum 0 8 > 2 * sum 8 16);
+  (* Zipf(1) over 16: rank 0 has weight 1/H16 ~ 0.295 *)
+  let frac = Float.of_int h.(0) /. 100_000. in
+  Alcotest.(check bool) "head mass plausible" true (frac > 0.25 && frac < 0.35)
+
+let test_zipf_zero_is_uniform () =
+  let t = Alias.zipf ~n:8 ~s:0. in
+  let h = draw_histogram t ~draws:40_000 ~seed:5 in
+  Array.iter
+    (fun c ->
+      if c < 4_200 || c > 5_800 then
+        Alcotest.failf "s=0 cell count %d outside uniform band" c)
+    h
+
+let prop_draw_in_range =
+  QCheck2.Test.make ~name:"alias draw lands in range" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 20)
+        (array_size (int_range 1 20) (float_range 0.01 10.)))
+    (fun (seed, weights) ->
+      let t = Alias.make weights in
+      let rng = Xoshiro.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let i = Alias.draw t rng in
+        if i < 0 || i >= Array.length weights then ok := false
+      done;
+      !ok)
+
+(* Weight-zero cells must never be drawn. *)
+let prop_zero_weight_never_drawn =
+  QCheck2.Test.make ~name:"zero-weight index never drawn" ~count:100
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let t = Alias.make [| 1.; 0.; 2.; 0. |] in
+      let rng = Xoshiro.create seed in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let i = Alias.draw t rng in
+        if i = 1 || i = 3 then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    ( "alias",
+      [
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "point mass" `Quick test_point_mass;
+        Alcotest.test_case "uniform-ish" `Quick test_uniformish;
+        Alcotest.test_case "3:1 proportions" `Quick test_proportions;
+        Alcotest.test_case "zipf monotone" `Quick test_zipf_monotone;
+        Alcotest.test_case "zipf s=0 uniform" `Quick test_zipf_zero_is_uniform;
+        QCheck_alcotest.to_alcotest prop_draw_in_range;
+        QCheck_alcotest.to_alcotest prop_zero_weight_never_drawn;
+      ] );
+  ]

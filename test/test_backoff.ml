@@ -1,0 +1,36 @@
+open Nbhash_util
+
+let test_window_growth () =
+  let b = Backoff.create ~min_spins:2 ~max_spins:16 () in
+  Alcotest.(check int) "initial" 2 (Backoff.window b);
+  Backoff.once b;
+  Alcotest.(check int) "doubled" 4 (Backoff.window b);
+  Backoff.once b;
+  Backoff.once b;
+  Alcotest.(check int) "doubled twice more" 16 (Backoff.window b);
+  Backoff.once b;
+  Alcotest.(check int) "saturates" 16 (Backoff.window b)
+
+let test_reset () =
+  let b = Backoff.create ~min_spins:1 ~max_spins:8 () in
+  Backoff.once b;
+  Backoff.once b;
+  Backoff.reset b;
+  Alcotest.(check int) "back to minimum" 1 (Backoff.window b)
+
+let test_defaults_valid () =
+  let b = Backoff.create () in
+  for _ = 1 to 20 do
+    Backoff.once b
+  done;
+  Alcotest.(check int) "default saturation" 1024 (Backoff.window b)
+
+let suite =
+  [
+    ( "backoff",
+      [
+        Alcotest.test_case "window growth" `Quick test_window_growth;
+        Alcotest.test_case "reset" `Quick test_reset;
+        Alcotest.test_case "defaults" `Quick test_defaults_valid;
+      ] );
+  ]

@@ -1,0 +1,106 @@
+open Nbhash_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_is_pow2 () =
+  List.iter (fun n -> check (Printf.sprintf "%d" n) true (Bits.is_pow2 n))
+    [ 1; 2; 4; 8; 1024; 1 lsl 40 ];
+  List.iter (fun n -> check (Printf.sprintf "%d" n) false (Bits.is_pow2 n))
+    [ 0; -1; 3; 6; 12; 1023; (1 lsl 40) + 1 ]
+
+let test_next_pow2 () =
+  check_int "0" 1 (Bits.next_pow2 0);
+  check_int "1" 1 (Bits.next_pow2 1);
+  check_int "2" 2 (Bits.next_pow2 2);
+  check_int "3" 4 (Bits.next_pow2 3);
+  check_int "1000" 1024 (Bits.next_pow2 1000);
+  check_int "1024" 1024 (Bits.next_pow2 1024)
+
+let test_log2 () =
+  check_int "1" 0 (Bits.log2 1);
+  check_int "2" 1 (Bits.log2 2);
+  check_int "8" 3 (Bits.log2 8);
+  check_int "2^40" 40 (Bits.log2 (1 lsl 40));
+  check_int "5" 2 (Bits.log2 5)
+
+let test_unset_msb () =
+  check_int "1" 0 (Bits.unset_msb 1);
+  check_int "3" 1 (Bits.unset_msb 3);
+  check_int "6" 2 (Bits.unset_msb 6);
+  check_int "12" 4 (Bits.unset_msb 12);
+  (* The split-ordered parent chain of any bucket reaches 0 in
+     popcount steps. *)
+  let rec depth b acc = if b = 0 then acc else depth (Bits.unset_msb b) (acc + 1) in
+  check_int "parent chain length" (Bits.popcount 0b101101) (depth 0b101101 0)
+
+let test_reverse62_known () =
+  check_int "0" 0 (Bits.reverse62 0);
+  check_int "1" (1 lsl 61) (Bits.reverse62 1);
+  check_int "2" (1 lsl 60) (Bits.reverse62 2);
+  check_int "top" 1 (Bits.reverse62 (1 lsl 61))
+
+let test_popcount () =
+  check_int "0" 0 (Bits.popcount 0);
+  check_int "1" 1 (Bits.popcount 1);
+  check_int "255" 8 (Bits.popcount 255);
+  check_int "0b1010" 2 (Bits.popcount 0b1010)
+
+let gen61 = QCheck2.Gen.map (fun n -> abs n land ((1 lsl 61) - 1)) QCheck2.Gen.int
+let gen62 = QCheck2.Gen.map (fun n -> abs n land ((1 lsl 62) - 1)) QCheck2.Gen.int
+
+let prop_reverse_involution =
+  QCheck2.Test.make ~name:"reverse62 is an involution on 62-bit ints"
+    ~count:1000 gen62 (fun k -> Bits.reverse62 (Bits.reverse62 k) = k)
+
+let prop_reverse_bit_i =
+  QCheck2.Test.make ~name:"reverse62 maps bit i to bit 61-i" ~count:500
+    QCheck2.Gen.(pair gen62 (int_bound 61))
+    (fun (k, i) ->
+      let bit x j = (x lsr j) land 1 in
+      bit k i = bit (Bits.reverse62 k) (61 - i))
+
+let prop_so_keys_parity =
+  QCheck2.Test.make ~name:"regular so-keys are odd, dummy so-keys even"
+    ~count:500 gen61 (fun k ->
+      Bits.so_regular_key k land 1 = 1 && Bits.so_dummy_key k land 1 = 0)
+
+let prop_so_keys_injective =
+  QCheck2.Test.make ~name:"so_regular_key is injective" ~count:500
+    QCheck2.Gen.(pair gen61 gen61)
+    (fun (a, b) -> a = b || Bits.so_regular_key a <> Bits.so_regular_key b)
+
+(* The property that makes recursive split-ordering work: the dummy of
+   bucket [k mod 2^j] sorts before the regular key of [k], and the
+   dummy of a bucket sorts after its parent bucket's dummy. *)
+let prop_dummy_precedes_key =
+  QCheck2.Test.make ~name:"bucket dummy precedes member keys in split order"
+    ~count:1000
+    QCheck2.Gen.(pair gen61 (int_range 0 20))
+    (fun (k, j) ->
+      let b = k land ((1 lsl j) - 1) in
+      Bits.so_dummy_key b < Bits.so_regular_key k)
+
+let prop_parent_dummy_precedes =
+  QCheck2.Test.make ~name:"parent dummy precedes child dummy" ~count:1000
+    QCheck2.Gen.(map (fun n -> (abs n land ((1 lsl 61) - 1)) lor 1) int)
+    (fun b -> Bits.so_dummy_key (Bits.unset_msb b) < Bits.so_dummy_key b)
+
+let suite =
+  [
+    ( "bits",
+      [
+        Alcotest.test_case "is_pow2" `Quick test_is_pow2;
+        Alcotest.test_case "next_pow2" `Quick test_next_pow2;
+        Alcotest.test_case "log2" `Quick test_log2;
+        Alcotest.test_case "unset_msb" `Quick test_unset_msb;
+        Alcotest.test_case "reverse62 known values" `Quick test_reverse62_known;
+        Alcotest.test_case "popcount" `Quick test_popcount;
+        QCheck_alcotest.to_alcotest prop_reverse_involution;
+        QCheck_alcotest.to_alcotest prop_reverse_bit_i;
+        QCheck_alcotest.to_alcotest prop_so_keys_parity;
+        QCheck_alcotest.to_alcotest prop_so_keys_injective;
+        QCheck_alcotest.to_alcotest prop_dummy_precedes_key;
+        QCheck_alcotest.to_alcotest prop_parent_dummy_precedes;
+      ] );
+  ]

@@ -1,0 +1,93 @@
+(* Differential testing: the same operation sequence is applied to
+   every implementation at once; all must agree on every response.
+   Any divergence pinpoints the odd one out immediately. *)
+
+module Factory = Nbhash_workload.Factory
+
+let all_tables () =
+  List.map
+    (fun ((name, maker) : string * Factory.maker) ->
+      let table = maker ~policy:(Nbhash.Policy.presized 4) ~max_threads:4 () in
+      (name, table, table.Factory.new_handle ()))
+    Factory.with_michael
+
+let apply_all tables kind k =
+  let results =
+    List.map
+      (fun (name, _, ops) ->
+        let r =
+          match kind with
+          | `Ins -> ops.Factory.ins k
+          | `Rem -> ops.Factory.rem k
+          | `Look -> ops.Factory.look k
+        in
+        (name, r))
+      tables
+  in
+  match results with
+  | [] -> assert false
+  | (ref_name, ref_r) :: rest ->
+    List.iter
+      (fun (name, r) ->
+        if r <> ref_r then
+          Alcotest.failf "divergence on %s %d: %s=%b but %s=%b"
+            (match kind with `Ins -> "ins" | `Rem -> "rem" | `Look -> "look")
+            k ref_name ref_r name r)
+      rest
+
+let test_random_trace () =
+  let tables = all_tables () in
+  let rng = Nbhash_util.Xoshiro.create 4242 in
+  for step = 1 to 4_000 do
+    let k = Nbhash_util.Xoshiro.below rng 96 in
+    let kind =
+      match Nbhash_util.Xoshiro.below rng 3 with
+      | 0 -> `Ins
+      | 1 -> `Rem
+      | _ -> `Look
+    in
+    apply_all tables kind k;
+    (* Interleave resizes for the tables that support them. *)
+    if step mod 257 = 0 then
+      List.iter
+        (fun (_, _, ops) -> ops.Factory.force_resize ~grow:(step mod 2 = 0))
+        tables
+  done;
+  (* Final states agree too. *)
+  let reference = ref None in
+  List.iter
+    (fun (name, table, _) ->
+      table.Factory.check_invariants ();
+      let sorted = table.Factory.elements () in
+      Array.sort compare sorted;
+      match !reference with
+      | None -> reference := Some (name, sorted)
+      | Some (ref_name, ref_elems) ->
+        if sorted <> ref_elems then
+          Alcotest.failf "final contents of %s differ from %s" name ref_name)
+    tables
+
+let test_edge_keys () =
+  let tables = all_tables () in
+  let keys = [ 0; 1; 2; (1 lsl 61) - 1; (1 lsl 61) - 2; 1 lsl 32 ] in
+  List.iter
+    (fun k ->
+      apply_all tables `Look k;
+      apply_all tables `Ins k;
+      apply_all tables `Ins k;
+      apply_all tables `Look k;
+      apply_all tables `Rem k;
+      apply_all tables `Rem k;
+      apply_all tables `Look k)
+    keys
+
+let suite =
+  [
+    ( "differential",
+      [
+        Alcotest.test_case "random trace, all implementations" `Slow
+          test_random_trace;
+        Alcotest.test_case "edge keys, all implementations" `Quick
+          test_edge_keys;
+      ] );
+  ]

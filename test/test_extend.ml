@@ -1,0 +1,92 @@
+open Nbhash
+module E = Extend.Make (Tables.LFArray)
+module EOpt = Extend.Make (Tables.AdaptiveOpt)
+
+let test_of_list () =
+  let t, _ = E.of_list [ 3; 1; 2; 3; 1 ] in
+  Alcotest.(check (list int)) "deduplicated and sorted" [ 1; 2; 3 ]
+    (E.to_list t)
+
+let test_seq_ops () =
+  let t, h = E.of_list [ 1; 2 ] in
+  Alcotest.(check int) "new insertions counted" 2
+    (E.add_seq h (List.to_seq [ 2; 3; 4 ]));
+  Alcotest.(check (list int)) "contents" [ 1; 2; 3; 4 ] (E.to_list t);
+  Alcotest.(check int) "removals counted" 3
+    (E.remove_seq h (List.to_seq [ 1; 2; 3; 9 ]));
+  Alcotest.(check (list int)) "rest" [ 4 ] (E.to_list t)
+
+let test_iter_fold () =
+  let t, _ = E.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold sums" 10 (E.fold ( + ) 0 t);
+  let n = ref 0 in
+  E.iter (fun _ -> incr n) t;
+  Alcotest.(check int) "iter visits all" 4 !n
+
+let test_equal_subset () =
+  let a, _ = E.of_list [ 1; 2; 3 ] in
+  let b, _ = E.of_list [ 3; 2; 1 ] in
+  let c, _ = E.of_list [ 1; 2 ] in
+  Alcotest.(check bool) "equal" true (E.equal a b);
+  Alcotest.(check bool) "not equal" false (E.equal a c);
+  Alcotest.(check bool) "subset" true (E.subset c a);
+  Alcotest.(check bool) "not subset" false (E.subset a c)
+
+let test_union_diff () =
+  let a, ha = E.of_list [ 1; 2 ] in
+  let b, _ = E.of_list [ 2; 3; 4 ] in
+  Alcotest.(check int) "union adds new" 2 (E.union_into ha b);
+  Alcotest.(check (list int)) "union contents" [ 1; 2; 3; 4 ] (E.to_list a);
+  Alcotest.(check int) "diff removes present" 3 (E.diff_into ha b);
+  Alcotest.(check (list int)) "diff contents" [ 1 ] (E.to_list a)
+
+(* Set algebra against the stdlib Set module as a model, through the
+   wait-free implementation. *)
+module ISet = Set.Make (Int)
+
+let prop_union_model =
+  QCheck2.Test.make ~name:"union_into matches Set.union" ~count:150
+    QCheck2.Gen.(pair (small_list (int_bound 63)) (small_list (int_bound 63)))
+    (fun (xs, ys) ->
+      let a, ha = EOpt.of_list xs in
+      let b, _ = EOpt.of_list ys in
+      ignore (EOpt.union_into ha b);
+      EOpt.to_list a
+      = ISet.elements (ISet.union (ISet.of_list xs) (ISet.of_list ys)))
+
+let prop_diff_model =
+  QCheck2.Test.make ~name:"diff_into matches Set.diff" ~count:150
+    QCheck2.Gen.(pair (small_list (int_bound 63)) (small_list (int_bound 63)))
+    (fun (xs, ys) ->
+      let a, ha = EOpt.of_list xs in
+      let b, _ = EOpt.of_list ys in
+      ignore (EOpt.diff_into ha b);
+      EOpt.to_list a
+      = ISet.elements (ISet.diff (ISet.of_list xs) (ISet.of_list ys)))
+
+let test_bucket_sizes () =
+  let t, h = E.of_list ~policy:(Policy.presized 4) [] in
+  List.iter (fun k -> ignore (E.insert h k)) [ 0; 4; 8; 1; 2 ];
+  Alcotest.(check (array int)) "per-bucket occupancy" [| 3; 1; 1; 0 |]
+    (E.bucket_sizes t);
+  (* After a forced grow the histogram reflects the abstract contents
+     even before buckets are touched. *)
+  E.force_resize h ~grow:true;
+  Alcotest.(check int) "sizes sum preserved" 5
+    (Array.fold_left ( + ) 0 (E.bucket_sizes t));
+  Alcotest.(check int) "eight buckets" 8 (Array.length (E.bucket_sizes t))
+
+let suite =
+  [
+    ( "extend",
+      [
+        Alcotest.test_case "of_list" `Quick test_of_list;
+        Alcotest.test_case "add_seq/remove_seq" `Quick test_seq_ops;
+        Alcotest.test_case "iter/fold" `Quick test_iter_fold;
+        Alcotest.test_case "equal/subset" `Quick test_equal_subset;
+        Alcotest.test_case "union/diff" `Quick test_union_diff;
+        Alcotest.test_case "bucket_sizes" `Quick test_bucket_sizes;
+        QCheck_alcotest.to_alcotest prop_union_model;
+        QCheck_alcotest.to_alcotest prop_diff_model;
+      ] );
+  ]

@@ -1,0 +1,183 @@
+(* Multi-domain stress tests of the FSet implementations.
+
+   The ledger argument: starting from an empty set, successful inserts
+   and successful removes of one key strictly alternate in any
+   linearization, so (successful inserts - successful removes) per key
+   must be 0 or 1 and equal to the key's final membership. Any lost or
+   duplicated update breaks the equation. *)
+
+open Nbhash_fset
+
+let domains = 4
+let keys = 8
+let ops_per_domain = 2_000
+
+module Lf_ledger (F : Fset_intf.S) = struct
+  let run () =
+    let t = F.create [||] in
+    let ins_succ = Array.init domains (fun _ -> Array.make keys 0) in
+    let rem_succ = Array.init domains (fun _ -> Array.make keys 0) in
+    let worker d () =
+      let rng = Nbhash_util.Xoshiro.create (100 + d) in
+      for _ = 1 to ops_per_domain do
+        let k = Nbhash_util.Xoshiro.below rng keys in
+        let kind =
+          if Nbhash_util.Xoshiro.bool rng then Fset_intf.Ins else Fset_intf.Rem
+        in
+        let op = F.make_op kind k in
+        if F.invoke t op && F.get_response op then
+          match kind with
+          | Fset_intf.Ins -> ins_succ.(d).(k) <- ins_succ.(d).(k) + 1
+          | Fset_intf.Rem -> rem_succ.(d).(k) <- rem_succ.(d).(k) + 1
+      done
+    in
+    let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+    List.iter Domain.join ds;
+    let final = F.freeze t in
+    for k = 0 to keys - 1 do
+      let net = ref 0 in
+      for d = 0 to domains - 1 do
+        net := !net + ins_succ.(d).(k) - rem_succ.(d).(k)
+      done;
+      Alcotest.(check bool) "net is 0 or 1" true (!net = 0 || !net = 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d membership matches ledger" k)
+        (!net = 1) (Intset.mem final k)
+    done
+end
+
+(* Freeze racing live updates: updates that report success must be in
+   the frozen snapshot's ledger; updates rejected by the freeze must
+   not. *)
+module Lf_freeze_race (F : Fset_intf.S) = struct
+  let run () =
+    let t = F.create [||] in
+    let ins_succ = Array.init domains (fun _ -> Array.make keys 0) in
+    let rem_succ = Array.init domains (fun _ -> Array.make keys 0) in
+    let worker d () =
+      let rng = Nbhash_util.Xoshiro.create (200 + d) in
+      let frozen = ref false in
+      while not !frozen do
+        let k = Nbhash_util.Xoshiro.below rng keys in
+        let kind =
+          if Nbhash_util.Xoshiro.bool rng then Fset_intf.Ins else Fset_intf.Rem
+        in
+        let op = F.make_op kind k in
+        if not (F.invoke t op) then frozen := true
+        else if F.get_response op then
+          match kind with
+          | Fset_intf.Ins -> ins_succ.(d).(k) <- ins_succ.(d).(k) + 1
+          | Fset_intf.Rem -> rem_succ.(d).(k) <- rem_succ.(d).(k) + 1
+      done
+    in
+    let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+    (* Give the workers a head start, then freeze under fire. *)
+    for _ = 1 to 10_000 do
+      Domain.cpu_relax ()
+    done;
+    let final = F.freeze t in
+    List.iter Domain.join ds;
+    Alcotest.(check bool) "frozen" true (F.is_frozen t);
+    for k = 0 to keys - 1 do
+      let net = ref 0 in
+      for d = 0 to domains - 1 do
+        net := !net + ins_succ.(d).(k) - rem_succ.(d).(k)
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d membership matches ledger at freeze" k)
+        (!net = 1) (Intset.mem final k)
+    done
+end
+
+(* All domains help the same announced operation; it must execute
+   exactly once. *)
+module Wf_shared_op (F : Fset_intf.WF) = struct
+  let run () =
+    for round = 1 to 20 do
+      let t = F.create [||] in
+      let op = F.make_op Fset_intf.Ins 5 ~prio:round in
+      let ds =
+        List.init domains (fun _ -> Domain.spawn (fun () -> F.invoke t op))
+      in
+      let reported = List.map Domain.join ds in
+      Alcotest.(check bool) "every shared invoke reports done" true
+        (List.for_all Fun.id reported);
+      Alcotest.(check bool) "op done" true (F.op_is_done op);
+      Alcotest.(check bool) "insert succeeded" true (F.get_response op);
+      Alcotest.(check bool) "applied exactly once" true
+        (Intset.equal_as_sets [| 5 |] (F.elements t));
+      let op2 = F.make_op Fset_intf.Rem 5 ~prio:(1000 + round) in
+      let ds =
+        List.init domains (fun _ ->
+            Domain.spawn (fun () -> ignore (F.invoke t op2)))
+      in
+      List.iter Domain.join ds;
+      Alcotest.(check bool) "remove succeeded" true (F.get_response op2);
+      Alcotest.(check int) "empty again" 0 (Array.length (F.elements t))
+    done
+end
+
+module Wf_ledger (F : Fset_intf.WF) = struct
+  let prio = Atomic.make 1
+
+  let run () =
+    let t = F.create [||] in
+    let ins_succ = Array.init domains (fun _ -> Array.make keys 0) in
+    let rem_succ = Array.init domains (fun _ -> Array.make keys 0) in
+    let worker d () =
+      let rng = Nbhash_util.Xoshiro.create (300 + d) in
+      for _ = 1 to ops_per_domain do
+        let k = Nbhash_util.Xoshiro.below rng keys in
+        let kind =
+          if Nbhash_util.Xoshiro.bool rng then Fset_intf.Ins else Fset_intf.Rem
+        in
+        let op = F.make_op kind k ~prio:(Atomic.fetch_and_add prio 1) in
+        if F.invoke t op && F.get_response op then
+          match kind with
+          | Fset_intf.Ins -> ins_succ.(d).(k) <- ins_succ.(d).(k) + 1
+          | Fset_intf.Rem -> rem_succ.(d).(k) <- rem_succ.(d).(k) + 1
+      done
+    in
+    let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+    List.iter Domain.join ds;
+    let final = F.freeze t in
+    for k = 0 to keys - 1 do
+      let net = ref 0 in
+      for d = 0 to domains - 1 do
+        net := !net + ins_succ.(d).(k) - rem_succ.(d).(k)
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d membership matches ledger" k)
+        (!net = 1) (Intset.mem final k)
+    done
+end
+
+module LfArrayLedger = Lf_ledger (Lf_array_fset)
+module LfListLedger = Lf_ledger (Lf_list_fset)
+module UlistLedger = Lf_ledger (Ulist_fset)
+module LfArrayFreeze = Lf_freeze_race (Lf_array_fset)
+module LfListFreeze = Lf_freeze_race (Lf_list_fset)
+module UlistFreeze = Lf_freeze_race (Ulist_fset)
+module WfArrayShared = Wf_shared_op (Wf_array_fset)
+module WfListShared = Wf_shared_op (Wf_list_fset)
+module WfArrayLedger = Wf_ledger (Wf_array_fset)
+module WfListLedger = Wf_ledger (Wf_list_fset)
+
+let suite =
+  [
+    ( "fset-concurrent",
+      [
+        Alcotest.test_case "lf-array ledger" `Slow LfArrayLedger.run;
+        Alcotest.test_case "lf-list ledger" `Slow LfListLedger.run;
+        Alcotest.test_case "ulist ledger" `Slow UlistLedger.run;
+        Alcotest.test_case "lf-array freeze race" `Slow LfArrayFreeze.run;
+        Alcotest.test_case "lf-list freeze race" `Slow LfListFreeze.run;
+        Alcotest.test_case "ulist freeze race" `Slow UlistFreeze.run;
+        Alcotest.test_case "wf-array shared op helped once" `Slow
+          WfArrayShared.run;
+        Alcotest.test_case "wf-list shared op helped once" `Slow
+          WfListShared.run;
+        Alcotest.test_case "wf-array ledger" `Slow WfArrayLedger.run;
+        Alcotest.test_case "wf-list ledger" `Slow WfListLedger.run;
+      ] );
+  ]

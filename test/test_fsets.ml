@@ -1,0 +1,22 @@
+(* Instantiate the FSet conformance suites for every implementation,
+   including the sequential oracle itself (a sanity check on the
+   suite). *)
+
+module Seq = Fset_suite.Make (Nbhash_fset.Seq_fset)
+module LfArray = Fset_suite.Make (Nbhash_fset.Lf_array_fset)
+module LfList = Fset_suite.Make (Nbhash_fset.Lf_list_fset)
+module Ulist = Fset_suite.Make (Nbhash_fset.Ulist_fset)
+module LfSorted = Fset_suite.Make (Nbhash_fset.Lf_sorted_fset)
+module WfArray = Wf_fset_suite.Make (Nbhash_fset.Wf_array_fset)
+module WfList = Wf_fset_suite.Make (Nbhash_fset.Wf_list_fset)
+
+let suite =
+  [
+    Seq.suite;
+    LfArray.suite;
+    LfList.suite;
+    Ulist.suite;
+    LfSorted.suite;
+    WfArray.suite;
+    WfList.suite;
+  ]

@@ -1,0 +1,171 @@
+(* Generic-key tables: string keys, adversarial hash collisions, and
+   model equivalence. *)
+
+module StringKey = struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end
+
+(* Every key collides: correctness must come from K.equal alone. *)
+module CollidingKey = struct
+  type t = string
+
+  let equal = String.equal
+  let hash _ = 7
+end
+
+module SSet = Nbhash_generic.Generic_set.Make (StringKey)
+module CSet = Nbhash_generic.Generic_set.Make (CollidingKey)
+module SMap = Nbhash_generic.Generic_map.Make (StringKey)
+module CMap = Nbhash_generic.Generic_map.Make (CollidingKey)
+
+let test_string_set_basic () =
+  let t = SSet.create () in
+  let h = SSet.register t in
+  Alcotest.(check bool) "add" true (SSet.add h "hello");
+  Alcotest.(check bool) "dup" false (SSet.add h "hello");
+  Alcotest.(check bool) "mem" true (SSet.mem h "hello");
+  Alcotest.(check bool) "other" false (SSet.mem h "world");
+  Alcotest.(check bool) "remove" true (SSet.remove h "hello");
+  Alcotest.(check bool) "gone" false (SSet.mem h "hello");
+  SSet.check_invariants t
+
+let test_string_set_growth () =
+  let t = SSet.create () in
+  let h = SSet.register t in
+  for i = 0 to 4_999 do
+    Alcotest.(check bool) "fresh add" true (SSet.add h (string_of_int i))
+  done;
+  Alcotest.(check int) "cardinal" 5_000 (SSet.cardinal t);
+  Alcotest.(check bool) "grew" true (SSet.bucket_count t > 1);
+  for i = 0 to 4_999 do
+    if not (SSet.mem h (string_of_int i)) then
+      Alcotest.failf "key %d missing after growth" i
+  done;
+  SSet.check_invariants t
+
+let test_collisions_coexist () =
+  let t = CSet.create ~policy:(Nbhash.Policy.presized 8) () in
+  let h = CSet.register t in
+  Alcotest.(check bool) "a" true (CSet.add h "a");
+  Alcotest.(check bool) "b" true (CSet.add h "b");
+  Alcotest.(check bool) "c" true (CSet.add h "c");
+  Alcotest.(check int) "three distinct keys, one hash" 3 (CSet.cardinal t);
+  Alcotest.(check bool) "remove middle" true (CSet.remove h "b");
+  Alcotest.(check bool) "a stays" true (CSet.mem h "a");
+  Alcotest.(check bool) "c stays" true (CSet.mem h "c");
+  CSet.force_resize h ~grow:true;
+  Alcotest.(check bool) "a survives resize" true (CSet.mem h "a");
+  Alcotest.(check bool) "c survives resize" true (CSet.mem h "c");
+  CSet.check_invariants t
+
+let test_string_map () =
+  let t = SMap.create () in
+  let h = SMap.register t in
+  Alcotest.(check (option int)) "put" None (SMap.put h "x" 1);
+  Alcotest.(check (option int)) "get" (Some 1) (SMap.get h "x");
+  Alcotest.(check (option int)) "replace" (Some 1) (SMap.put h "x" 2);
+  SMap.update h "x" (function None -> 0 | Some v -> v * 10);
+  Alcotest.(check (option int)) "updated" (Some 20) (SMap.get h "x");
+  Alcotest.(check (option int)) "remove" (Some 20) (SMap.remove h "x");
+  Alcotest.(check int) "empty" 0 (SMap.cardinal t)
+
+let test_colliding_map_resize () =
+  let t = CMap.create ~policy:(Nbhash.Policy.presized 4) () in
+  let h = CMap.register t in
+  List.iter (fun (k, v) -> ignore (CMap.put h k v))
+    [ ("one", 1); ("two", 2); ("three", 3) ];
+  CMap.force_resize h ~grow:true;
+  CMap.force_resize h ~grow:false;
+  Alcotest.(check (option int)) "one" (Some 1) (CMap.get h "one");
+  Alcotest.(check (option int)) "two" (Some 2) (CMap.get h "two");
+  Alcotest.(check (option int)) "three" (Some 3) (CMap.get h "three");
+  CMap.check_invariants t
+
+let word_gen = QCheck2.Gen.(string_size ~gen:printable (int_range 0 6))
+
+let prop_set_model =
+  QCheck2.Test.make ~name:"generic string set matches a model" ~count:150
+    QCheck2.Gen.(small_list (pair bool word_gen))
+    (fun ops ->
+      let t = SSet.create ~policy:(Nbhash.Policy.presized 2) () in
+      let h = SSet.register t in
+      let model = Hashtbl.create 16 in
+      let ok =
+        List.for_all
+          (fun (is_add, w) ->
+            if is_add then begin
+              let expected = not (Hashtbl.mem model w) in
+              Hashtbl.replace model w ();
+              SSet.add h w = expected
+            end
+            else begin
+              let expected = Hashtbl.mem model w in
+              Hashtbl.remove model w;
+              SSet.remove h w = expected
+            end)
+          ops
+      in
+      SSet.check_invariants t;
+      ok && SSet.cardinal t = Hashtbl.length model)
+
+let prop_map_model =
+  QCheck2.Test.make ~name:"generic string map matches a model" ~count:150
+    QCheck2.Gen.(small_list (pair (int_bound 2) word_gen))
+    (fun ops ->
+      let t = SMap.create ~policy:(Nbhash.Policy.presized 2) () in
+      let h = SMap.register t in
+      let model = Hashtbl.create 16 in
+      let ok =
+        List.for_all Fun.id
+          (List.mapi
+             (fun i (c, w) ->
+               match c with
+               | 0 ->
+                 let expected = Hashtbl.find_opt model w in
+                 Hashtbl.replace model w i;
+                 SMap.put h w i = expected
+               | 1 ->
+                 let expected = Hashtbl.find_opt model w in
+                 Hashtbl.remove model w;
+                 SMap.remove h w = expected
+               | _ -> SMap.get h w = Hashtbl.find_opt model w)
+             ops)
+      in
+      SMap.check_invariants t;
+      ok && SMap.cardinal t = Hashtbl.length model)
+
+let test_concurrent_string_set () =
+  let domains = 4 and n = 1_500 in
+  let t = SSet.create ~policy:Nbhash.Policy.aggressive () in
+  let worker d () =
+    let h = SSet.register t in
+    for i = 0 to n - 1 do
+      let w = Printf.sprintf "key-%d-%d" d i in
+      if not (SSet.add h w) then Alcotest.failf "fresh add of %s failed" w
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  SSet.check_invariants t;
+  Alcotest.(check int) "all present" (domains * n) (SSet.cardinal t)
+
+let suite =
+  [
+    ( "generic",
+      [
+        Alcotest.test_case "string set basic" `Quick test_string_set_basic;
+        Alcotest.test_case "string set growth" `Quick test_string_set_growth;
+        Alcotest.test_case "hash collisions coexist" `Quick
+          test_collisions_coexist;
+        Alcotest.test_case "string map" `Quick test_string_map;
+        Alcotest.test_case "colliding map across resizes" `Quick
+          test_colliding_map_resize;
+        QCheck_alcotest.to_alcotest prop_set_model;
+        QCheck_alcotest.to_alcotest prop_map_model;
+        Alcotest.test_case "concurrent string adds" `Slow
+          test_concurrent_string_set;
+      ] );
+  ]

@@ -1,0 +1,141 @@
+open Nbhash
+
+let fresh ?policy () =
+  let t = Hashmap.create ?policy () in
+  (t, Hashmap.register t)
+
+let test_put_get () =
+  let _, h = fresh () in
+  Alcotest.(check (option string)) "fresh" None (Hashmap.put h 1 "one");
+  Alcotest.(check (option string)) "get" (Some "one") (Hashmap.get h 1);
+  Alcotest.(check (option string)) "replace" (Some "one")
+    (Hashmap.put h 1 "uno");
+  Alcotest.(check (option string)) "updated" (Some "uno") (Hashmap.get h 1);
+  Alcotest.(check (option string)) "absent" None (Hashmap.get h 2)
+
+let test_remove () =
+  let t, h = fresh () in
+  ignore (Hashmap.put h 3 "x");
+  Alcotest.(check (option string)) "removed" (Some "x") (Hashmap.remove h 3);
+  Alcotest.(check (option string)) "remove absent" None (Hashmap.remove h 3);
+  Alcotest.(check bool) "mem" false (Hashmap.mem h 3);
+  Alcotest.(check int) "empty" 0 (Hashmap.cardinal t)
+
+let test_update () =
+  let _, h = fresh () in
+  Hashmap.update h 9 (function None -> 1 | Some v -> v + 1);
+  Hashmap.update h 9 (function None -> 1 | Some v -> v + 1);
+  Hashmap.update h 9 (function None -> 1 | Some v -> v + 1);
+  Alcotest.(check (option int)) "counter" (Some 3) (Hashmap.get h 9)
+
+let test_grow_preserves_bindings () =
+  let t, h = fresh ~policy:(Policy.presized 1) () in
+  for k = 0 to 199 do
+    ignore (Hashmap.put h k (k * k))
+  done;
+  Hashmap.force_resize h ~grow:true;
+  Hashmap.force_resize h ~grow:true;
+  Alcotest.(check int) "buckets" 4 (Hashmap.bucket_count t);
+  for k = 0 to 199 do
+    Alcotest.(check (option int)) "binding survives" (Some (k * k))
+      (Hashmap.get h k)
+  done;
+  Hashmap.force_resize h ~grow:false;
+  for k = 0 to 199 do
+    Alcotest.(check (option int)) "binding survives shrink" (Some (k * k))
+      (Hashmap.get h k)
+  done;
+  Hashmap.check_invariants t
+
+let test_policy_growth () =
+  let t, h = fresh ~policy:Policy.default () in
+  for k = 0 to 1999 do
+    ignore (Hashmap.put h k k)
+  done;
+  Alcotest.(check bool) "grew" true (Hashmap.bucket_count t > 1);
+  Alcotest.(check int) "cardinal" 2000 (Hashmap.cardinal t);
+  Hashmap.check_invariants t
+
+let test_iter_fold () =
+  let t, h = fresh () in
+  ignore (Hashmap.put h 1 10);
+  ignore (Hashmap.put h 2 20);
+  ignore (Hashmap.put h 3 30);
+  Alcotest.(check int) "fold sums values" 60
+    (Hashmap.fold (fun _ v acc -> v + acc) t 0);
+  Alcotest.(check int) "fold sums keys" 6
+    (Hashmap.fold (fun k _ acc -> k + acc) t 0);
+  let visited = ref 0 in
+  Hashmap.iter (fun k v -> visited := !visited + if v = k * 10 then 1 else 0) t;
+  Alcotest.(check int) "iter visits all bindings" 3 !visited
+
+let prop_model =
+  QCheck2.Test.make ~name:"Hashmap matches a Hashtbl model" ~count:200
+    QCheck2.Gen.(small_list (pair (int_bound 3) (int_bound 31)))
+    (fun ops ->
+      let t, h = fresh ~policy:(Policy.presized 2) () in
+      let model = Hashtbl.create 16 in
+      let value k step = (k * 1000) + step in
+      let ok =
+        List.for_all Fun.id
+          (List.mapi
+             (fun i (c, k) ->
+               match c with
+               | 0 ->
+                 let expected = Hashtbl.find_opt model k in
+                 Hashtbl.replace model k (value k i);
+                 Hashmap.put h k (value k i) = expected
+               | 1 ->
+                 let expected = Hashtbl.find_opt model k in
+                 Hashtbl.remove model k;
+                 Hashmap.remove h k = expected
+               | 2 -> Hashmap.get h k = Hashtbl.find_opt model k
+               | _ ->
+                 Hashmap.force_resize h ~grow:(i mod 2 = 0);
+                 true)
+             ops)
+      in
+      Hashmap.check_invariants t;
+      let bindings = List.sort compare (Hashmap.bindings t) in
+      let expected =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []
+        |> List.sort compare
+      in
+      ok && bindings = expected)
+
+let test_concurrent_counters () =
+  (* Domains concurrently bump disjoint counters via update; totals
+     must be exact. *)
+  let domains = 4 and bumps = 2_000 in
+  let t = Hashmap.create ~policy:Policy.aggressive () in
+  let worker d () =
+    let h = Hashmap.register t in
+    for i = 1 to bumps do
+      let k = (i mod 8 * domains) + d in
+      Hashmap.update h k (function None -> 1 | Some v -> v + 1)
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  Hashmap.check_invariants t;
+  let total =
+    List.fold_left (fun acc (_, v) -> acc + v) 0 (Hashmap.bindings t)
+  in
+  Alcotest.(check int) "no update lost" (domains * bumps) total
+
+let suite =
+  [
+    ( "hashmap",
+      [
+        Alcotest.test_case "put/get" `Quick test_put_get;
+        Alcotest.test_case "remove" `Quick test_remove;
+        Alcotest.test_case "update" `Quick test_update;
+        Alcotest.test_case "grow preserves bindings" `Quick
+          test_grow_preserves_bindings;
+        Alcotest.test_case "policy growth" `Quick test_policy_growth;
+        Alcotest.test_case "iter/fold" `Quick test_iter_fold;
+        QCheck_alcotest.to_alcotest prop_model;
+        Alcotest.test_case "concurrent counters" `Slow
+          test_concurrent_counters;
+      ] );
+  ]

@@ -1,0 +1,96 @@
+(* Multi-domain ledger stress for every hash table, under an
+   aggressive resize policy and an explicit resize storm. Catching a
+   lost or duplicated key during bucket migration is exactly what
+   these are for. *)
+
+module Factory = Nbhash_workload.Factory
+
+let domains = 4
+let key_range = 64
+let ops_per_domain = 3_000
+
+let ledger_stress (maker : Factory.maker) ~policy ~storm () =
+  let table = maker ~policy () in
+  let ins_succ = Array.init domains (fun _ -> Array.make key_range 0) in
+  let rem_succ = Array.init domains (fun _ -> Array.make key_range 0) in
+  let worker d () =
+    let ops = table.Factory.new_handle () in
+    let rng = Nbhash_util.Xoshiro.create (500 + d) in
+    for _ = 1 to ops_per_domain do
+      let k = Nbhash_util.Xoshiro.below rng key_range in
+      match Nbhash_util.Xoshiro.below rng 3 with
+      | 0 -> if ops.Factory.ins k then ins_succ.(d).(k) <- ins_succ.(d).(k) + 1
+      | 1 -> if ops.Factory.rem k then rem_succ.(d).(k) <- rem_succ.(d).(k) + 1
+      | _ -> ignore (ops.Factory.look k)
+    done
+  in
+  let stormer () =
+    let ops = table.Factory.new_handle () in
+    for i = 1 to 150 do
+      ops.Factory.force_resize ~grow:(i mod 2 = 0);
+      for _ = 1 to 50 do
+        Domain.cpu_relax ()
+      done
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  let ds = if storm then Domain.spawn stormer :: ds else ds in
+  List.iter Domain.join ds;
+  table.Factory.check_invariants ();
+  let final = table.Factory.elements () in
+  let mem k = Array.exists (fun x -> x = k) final in
+  for k = 0 to key_range - 1 do
+    let net = ref 0 in
+    for d = 0 to domains - 1 do
+      net := !net + ins_succ.(d).(k) - rem_succ.(d).(k)
+    done;
+    Alcotest.(check bool) "net is 0 or 1" true (!net = 0 || !net = 1);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: key %d membership matches ledger"
+         table.Factory.name k)
+      (!net = 1) (mem k)
+  done
+
+(* Key-partitioned parallel inserts: no two domains touch the same
+   key, so every insert must succeed and every key must be present. *)
+let partitioned_inserts (maker : Factory.maker) () =
+  let table = maker ~policy:(Nbhash.Policy.presized 256) () in
+  let n = 2_000 in
+  let failed = Atomic.make 0 in
+  let worker d () =
+    let ops = table.Factory.new_handle () in
+    for i = 0 to n - 1 do
+      let k = (i * domains) + d in
+      if not (ops.Factory.ins k) then ignore (Atomic.fetch_and_add failed 1)
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  table.Factory.check_invariants ();
+  Alcotest.(check int)
+    (table.Factory.name ^ ": every fresh insert succeeded")
+    0 (Atomic.get failed);
+  Alcotest.(check int)
+    (table.Factory.name ^ ": all partitioned keys present")
+    (domains * n)
+    (table.Factory.cardinal ());
+  let ops = table.Factory.new_handle () in
+  for k = 0 to (domains * n) - 1 do
+    if not (ops.Factory.look k) then
+      Alcotest.failf "%s: key %d missing" table.Factory.name k
+  done
+
+let cases =
+  List.concat_map
+    (fun (name, maker) ->
+      [
+        Alcotest.test_case (name ^ " ledger, aggressive policy") `Slow
+          (ledger_stress maker ~policy:Nbhash.Policy.aggressive ~storm:false);
+        Alcotest.test_case (name ^ " ledger, resize storm") `Slow
+          (ledger_stress maker ~policy:(Nbhash.Policy.presized 4) ~storm:true);
+        Alcotest.test_case (name ^ " partitioned inserts") `Slow
+          (partitioned_inserts maker);
+      ])
+    Factory.with_michael
+
+let suite = [ ("hashset-concurrent", cases) ]

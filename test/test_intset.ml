@@ -1,0 +1,87 @@
+open Nbhash_fset
+
+let test_mem () =
+  let a = [| 3; 1; 4 |] in
+  Alcotest.(check bool) "present" true (Intset.mem a 1);
+  Alcotest.(check bool) "absent" false (Intset.mem a 2);
+  Alcotest.(check bool) "empty" false (Intset.mem [||] 0)
+
+let test_add_remove () =
+  let a = Intset.add [||] 5 in
+  Alcotest.(check bool) "added" true (Intset.mem a 5);
+  let b = Intset.add a 7 in
+  let c = Intset.remove b 5 in
+  Alcotest.(check bool) "removed" false (Intset.mem c 5);
+  Alcotest.(check bool) "kept" true (Intset.mem c 7);
+  Alcotest.(check int) "length" 1 (Array.length c)
+
+let test_filter_mask () =
+  let a = [| 0; 1; 2; 3; 4; 5; 6; 7 |] in
+  Alcotest.(check bool) "evens" true
+    (Intset.equal_as_sets [| 0; 2; 4; 6 |]
+       (Intset.filter_mask a ~mask:1 ~target:0));
+  Alcotest.(check bool) "mod4 = 3" true
+    (Intset.equal_as_sets [| 3; 7 |] (Intset.filter_mask a ~mask:3 ~target:3))
+
+let test_equal_as_sets () =
+  Alcotest.(check bool) "permuted" true
+    (Intset.equal_as_sets [| 1; 2; 3 |] [| 3; 1; 2 |]);
+  Alcotest.(check bool) "different" false
+    (Intset.equal_as_sets [| 1; 2 |] [| 1; 3 |])
+
+let distinct_gen =
+  QCheck2.Gen.(map (List.sort_uniq compare) (small_list (int_bound 1000)))
+
+(* Model-based: an Intset array must behave like a List-based set. *)
+let prop_add_remove_roundtrip =
+  QCheck2.Test.make ~name:"remove (add a k) k = a (as sets)" ~count:500
+    QCheck2.Gen.(pair distinct_gen (int_bound 1000))
+    (fun (l, k) ->
+      let a = Array.of_list (List.filter (fun x -> x <> k) l) in
+      Intset.equal_as_sets a (Intset.remove (Intset.add a k) k))
+
+let prop_filter_mask_model =
+  QCheck2.Test.make ~name:"filter_mask matches list filter" ~count:500
+    QCheck2.Gen.(pair distinct_gen (int_range 0 5))
+    (fun (l, bits) ->
+      let mask = (1 lsl bits) - 1 in
+      let target = match l with [] -> 0 | x :: _ -> x land mask in
+      let expected = List.filter (fun k -> k land mask = target) l in
+      Intset.equal_as_sets (Array.of_list expected)
+        (Intset.filter_mask (Array.of_list l) ~mask ~target))
+
+let prop_split_partitions =
+  QCheck2.Test.make
+    ~name:"grow split partitions a bucket without loss or duplication"
+    ~count:500
+    QCheck2.Gen.(pair distinct_gen (int_range 1 4))
+    (fun (l, bits) ->
+      (* All keys congruent mod old size, as in a real bucket. *)
+      let old_mask = (1 lsl bits) - 1 in
+      let residue = 3 land old_mask in
+      let bucket =
+        Array.of_list
+          (List.sort_uniq compare
+             (List.map (fun k -> (k lsl (bits + 1)) lor residue) l))
+      in
+      let new_mask = (2 lsl bits) - 1 in
+      let lo = Intset.filter_mask bucket ~mask:new_mask ~target:residue in
+      let hi =
+        Intset.filter_mask bucket ~mask:new_mask
+          ~target:(residue lor (1 lsl bits))
+      in
+      Intset.equal_as_sets bucket (Intset.disjoint_union lo hi))
+
+let suite =
+  [
+    ( "intset",
+      [
+        Alcotest.test_case "mem" `Quick test_mem;
+        Alcotest.test_case "add/remove" `Quick test_add_remove;
+        Alcotest.test_case "filter_mask" `Quick test_filter_mask;
+        Alcotest.test_case "equal_as_sets" `Quick test_equal_as_sets;
+        QCheck_alcotest.to_alcotest prop_add_remove_roundtrip;
+        QCheck_alcotest.to_alcotest prop_filter_mask_model;
+        QCheck_alcotest.to_alcotest prop_split_partitions;
+      ] );
+  ]

@@ -1,0 +1,61 @@
+open Nbhash
+
+(* IPv4-address-and-port endpoints embed injectively in 48 bits. *)
+module Endpoint = struct
+  type t = { a : int; b : int; c : int; d : int; port : int }
+
+  let v a b c d port = { a; b; c; d; port }
+
+  let to_int e =
+    (e.a lsl 40) lor (e.b lsl 32) lor (e.c lsl 24) lor (e.d lsl 16) lor e.port
+end
+
+module Set = Keyed.Make (Endpoint) (Tables.LFArray)
+
+let test_endpoints () =
+  let t = Set.create () in
+  let h = Set.register t in
+  let e1 = Endpoint.v 10 0 0 1 8080 in
+  let e2 = Endpoint.v 10 0 0 1 8081 in
+  let e3 = Endpoint.v 10 0 0 2 8080 in
+  Alcotest.(check bool) "insert e1" true (Set.insert h e1);
+  Alcotest.(check bool) "insert e2" true (Set.insert h e2);
+  Alcotest.(check bool) "e1 again" false (Set.insert h e1);
+  Alcotest.(check bool) "contains e2" true (Set.contains h e2);
+  Alcotest.(check bool) "not e3" false (Set.contains h e3);
+  Alcotest.(check bool) "remove e1" true (Set.remove h e1);
+  Alcotest.(check bool) "e1 gone, e2 stays" true
+    ((not (Set.contains h e1)) && Set.contains h e2);
+  Alcotest.(check int) "cardinal" 1 (Set.cardinal t)
+
+module CharPair = struct
+  type t = char * char
+
+  let to_int (a, b) = (Char.code a lsl 8) lor Char.code b
+end
+
+module PairSet = Keyed.Make (CharPair) (Tables.AdaptiveOpt)
+
+let prop_pairs_model =
+  QCheck2.Test.make ~name:"keyed set matches a model (char pairs)" ~count:200
+    QCheck2.Gen.(small_list (pair printable printable))
+    (fun pairs ->
+      let t = PairSet.create ~policy:Policy.aggressive () in
+      let h = PairSet.register t in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun p ->
+          let expected = not (Hashtbl.mem model p) in
+          Hashtbl.replace model p ();
+          PairSet.insert h p = expected)
+        pairs
+      && Hashtbl.fold (fun p () acc -> acc && PairSet.contains h p) model true)
+
+let suite =
+  [
+    ( "keyed",
+      [
+        Alcotest.test_case "endpoints" `Quick test_endpoints;
+        QCheck_alcotest.to_alcotest prop_pairs_model;
+      ] );
+  ]

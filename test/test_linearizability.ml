@@ -1,0 +1,173 @@
+(* Linearizability checking: unit tests for the checker itself, then
+   randomized concurrent histories from the real tables (including
+   under forced resizing) searched for a valid linearization. *)
+
+open Linearizability
+module Factory = Nbhash_workload.Factory
+
+(* --- checker self-tests on hand-written histories --- *)
+
+let ev op result start_t end_t = { op; result; start_t; end_t }
+
+let test_sequential_legal () =
+  Alcotest.(check bool) "ins then mem" true
+    (check [ ev (Ins 1) true 0 1; ev (Mem 1) true 2 3 ]);
+  Alcotest.(check bool) "ins, rem, mem" true
+    (check
+       [
+         ev (Ins 1) true 0 1;
+         ev (Rem 1) true 2 3;
+         ev (Mem 1) false 4 5;
+       ])
+
+let test_sequential_illegal () =
+  Alcotest.(check bool) "mem true on empty set" false
+    (check [ ev (Mem 1) true 0 1 ]);
+  Alcotest.(check bool) "double successful insert" false
+    (check [ ev (Ins 1) true 0 1; ev (Ins 1) true 2 3 ]);
+  Alcotest.(check bool) "lost insert" false
+    (check [ ev (Ins 1) true 0 1; ev (Mem 1) false 2 3 ])
+
+let test_concurrent_flexibility () =
+  (* Two overlapping inserts of the same key: exactly one may win,
+     either order is fine. *)
+  Alcotest.(check bool) "overlapping inserts, one winner" true
+    (check [ ev (Ins 1) true 0 2; ev (Ins 1) false 1 3 ]);
+  (* A membership test overlapping an insert may see either state. *)
+  Alcotest.(check bool) "overlapping mem may miss" true
+    (check [ ev (Ins 1) true 0 3; ev (Mem 1) false 1 2 ]);
+  Alcotest.(check bool) "overlapping mem may hit" true
+    (check [ ev (Ins 1) true 0 3; ev (Mem 1) true 1 2 ])
+
+let test_realtime_respected () =
+  (* The insert strictly precedes the lookup in real time, so the
+     lookup cannot miss. *)
+  Alcotest.(check bool) "stale read rejected" false
+    (check [ ev (Ins 1) true 0 1; ev (Mem 1) false 2 3 ]);
+  (* But if they overlap, it can. *)
+  Alcotest.(check bool) "overlapping read accepted" true
+    (check [ ev (Ins 1) true 0 2; ev (Mem 1) false 1 3 ])
+
+(* Random sequential histories generated against a model are always
+   accepted; results flipped on a random event are usually illegal and
+   must never crash the checker. *)
+let prop_sequential_accepted =
+  QCheck2.Test.make ~name:"checker accepts model-generated histories"
+    ~count:300
+    QCheck2.Gen.(list_size (int_range 1 12) (pair (int_bound 2) (int_bound 2)))
+    (fun ops ->
+      let state = Hashtbl.create 4 in
+      let evs =
+        List.mapi
+          (fun i (c, k) ->
+            let result =
+              match c with
+              | 0 ->
+                let fresh = not (Hashtbl.mem state k) in
+                Hashtbl.replace state k ();
+                fresh
+              | 1 ->
+                let present = Hashtbl.mem state k in
+                Hashtbl.remove state k;
+                present
+              | _ -> Hashtbl.mem state k
+            in
+            let op = match c with 0 -> Ins k | 1 -> Rem k | _ -> Mem k in
+            { op; result; start_t = 2 * i; end_t = (2 * i) + 1 })
+          ops
+      in
+      check evs)
+
+let prop_flip_never_crashes =
+  QCheck2.Test.make ~name:"checker is total on corrupted histories"
+    ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 8) (pair (int_bound 2) (int_bound 1)))
+        (int_bound 7))
+    (fun (ops, flip) ->
+      let evs =
+        List.mapi
+          (fun i (c, k) ->
+            let op = match c with 0 -> Ins k | 1 -> Rem k | _ -> Mem k in
+            {
+              op;
+              result = (i = flip mod max 1 (List.length ops));
+              start_t = 2 * i;
+              end_t = (2 * i) + 1;
+            })
+          ops
+      in
+      let _ = check evs in
+      true)
+
+(* --- randomized histories from the real implementations --- *)
+
+let history_round (maker : Factory.maker) ~policy ~storm ~seed =
+  let table = maker ~policy ~max_threads:8 () in
+  let r = recorder () in
+  let worker d () =
+    let ops = table.Factory.new_handle () in
+    let rng = Nbhash_util.Xoshiro.create (seed + d) in
+    for _ = 1 to 4 do
+      let k = Nbhash_util.Xoshiro.below rng 2 in
+      match Nbhash_util.Xoshiro.below rng 3 with
+      | 0 -> record r (Ins k) (fun () -> ops.Factory.ins k)
+      | 1 -> record r (Rem k) (fun () -> ops.Factory.rem k)
+      | _ -> record r (Mem k) (fun () -> ops.Factory.look k)
+    done
+  in
+  let stormer () =
+    let ops = table.Factory.new_handle () in
+    for i = 1 to 6 do
+      ops.Factory.force_resize ~grow:(i mod 2 = 0)
+    done
+  in
+  let ds = List.init 3 (fun d -> Domain.spawn (worker d)) in
+  let ds = if storm then Domain.spawn stormer :: ds else ds in
+  List.iter Domain.join ds;
+  events r
+
+let assert_linearizable name evs =
+  if not (check evs) then
+    Alcotest.failf "%s: non-linearizable history:@.%a" name pp_history evs
+
+let stress name ~storm () =
+  let maker = Factory.by_name name in
+  for seed = 0 to 59 do
+    let policy =
+      if storm then Nbhash.Policy.presized 4 else Nbhash.Policy.aggressive
+    in
+    let evs = history_round maker ~policy ~storm ~seed:(seed * 17) in
+    assert_linearizable name evs
+  done
+
+let implementations =
+  [ "LFArray"; "LFArrayOpt"; "LFList"; "LFUlist"; "LFSorted"; "WFArray"; "Adaptive";
+    "AdaptiveOpt"; "SplitOrder"; "Michael"; "Locked" ]
+
+let cases =
+  [
+    Alcotest.test_case "checker accepts legal sequential" `Quick
+      test_sequential_legal;
+    Alcotest.test_case "checker rejects illegal sequential" `Quick
+      test_sequential_illegal;
+    Alcotest.test_case "checker handles concurrency" `Quick
+      test_concurrent_flexibility;
+    Alcotest.test_case "checker respects real time" `Quick
+      test_realtime_respected;
+    QCheck_alcotest.to_alcotest prop_sequential_accepted;
+    QCheck_alcotest.to_alcotest prop_flip_never_crashes;
+  ]
+  @ List.concat_map
+      (fun name ->
+        [
+          Alcotest.test_case (name ^ " histories linearizable") `Slow
+            (stress name ~storm:false);
+          Alcotest.test_case
+            (name ^ " histories linearizable under resize storm")
+            `Slow (stress name ~storm:true);
+        ])
+      implementations
+
+let suite = [ ("linearizability", cases) ]

@@ -1,0 +1,123 @@
+open Nbhash_splitorder
+
+let test_insert_mem () =
+  let head = Ordered_list.make_head () in
+  Alcotest.(check bool) "insert 5" true (Ordered_list.insert ~start:head 5);
+  Alcotest.(check bool) "insert 3" true (Ordered_list.insert ~start:head 3);
+  Alcotest.(check bool) "insert dup" false (Ordered_list.insert ~start:head 5);
+  Alcotest.(check bool) "mem 3" true (Ordered_list.mem ~start:head 3);
+  Alcotest.(check bool) "mem 4" false (Ordered_list.mem ~start:head 4);
+  Ordered_list.check_sorted ~start:head
+
+let test_remove () =
+  let head = Ordered_list.make_head () in
+  List.iter (fun k -> ignore (Ordered_list.insert ~start:head k)) [ 1; 2; 3 ];
+  Alcotest.(check bool) "remove 2" true (Ordered_list.remove ~start:head 2);
+  Alcotest.(check bool) "remove 2 again" false
+    (Ordered_list.remove ~start:head 2);
+  Alcotest.(check bool) "mem 2" false (Ordered_list.mem ~start:head 2);
+  Alcotest.(check (list int)) "rest" [ 1; 3 ]
+    (Ordered_list.keys_from ~start:head ());
+  Alcotest.(check bool) "reinsert 2" true (Ordered_list.insert ~start:head 2);
+  Alcotest.(check bool) "mem 2 again" true (Ordered_list.mem ~start:head 2)
+
+let test_keys_sorted () =
+  let head = Ordered_list.make_head () in
+  List.iter
+    (fun k -> ignore (Ordered_list.insert ~start:head k))
+    [ 9; 1; 7; 3; 5 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5; 7; 9 ]
+    (Ordered_list.keys_from ~start:head ());
+  Alcotest.(check (list int)) "upto bound" [ 1; 3 ]
+    (Ordered_list.keys_from ~start:head ~upto:5 ())
+
+let test_interior_start () =
+  let head = Ordered_list.make_head () in
+  List.iter
+    (fun k -> ignore (Ordered_list.insert ~start:head k))
+    [ 10; 20; 30 ];
+  (* Searching from an interior node sees only the suffix. *)
+  let n20 = Ordered_list.insert_or_find ~start:head 20 in
+  Alcotest.(check int) "found existing node" 20 (Ordered_list.node_key n20);
+  Alcotest.(check bool) "sees 30" true (Ordered_list.mem ~start:n20 30);
+  Alcotest.(check bool) "does not see 10" false
+    (Ordered_list.mem ~start:n20 10)
+
+let test_insert_or_find_idempotent () =
+  let head = Ordered_list.make_head () in
+  let a = Ordered_list.insert_or_find ~start:head 7 in
+  let b = Ordered_list.insert_or_find ~start:head 7 in
+  Alcotest.(check bool) "same node" true (a == b)
+
+(* Model check against a sorted-list reference. *)
+let prop_model =
+  QCheck2.Test.make ~name:"ordered list matches a set model" ~count:300
+    QCheck2.Gen.(small_list (pair bool (int_range 1 30)))
+    (fun ops ->
+      let head = Ordered_list.make_head () in
+      let model = Hashtbl.create 32 in
+      List.for_all
+        (fun (is_ins, k) ->
+          if is_ins then begin
+            let expected = not (Hashtbl.mem model k) in
+            Hashtbl.replace model k ();
+            Ordered_list.insert ~start:head k = expected
+          end
+          else begin
+            let expected = Hashtbl.mem model k in
+            Hashtbl.remove model k;
+            Ordered_list.remove ~start:head k = expected
+          end)
+        ops
+      &&
+      let expected =
+        Hashtbl.fold (fun k () acc -> k :: acc) model [] |> List.sort compare
+      in
+      Ordered_list.keys_from ~start:head () = expected)
+
+(* Concurrent ledger, as for the FSets. *)
+let test_concurrent_ledger () =
+  let domains = 4 and keys = 16 and ops = 2_000 in
+  let head = Ordered_list.make_head () in
+  let ins_succ = Array.init domains (fun _ -> Array.make (keys + 1) 0) in
+  let rem_succ = Array.init domains (fun _ -> Array.make (keys + 1) 0) in
+  let worker d () =
+    let rng = Nbhash_util.Xoshiro.create (700 + d) in
+    for _ = 1 to ops do
+      let k = 1 + Nbhash_util.Xoshiro.below rng keys in
+      if Nbhash_util.Xoshiro.bool rng then begin
+        if Ordered_list.insert ~start:head k then
+          ins_succ.(d).(k) <- ins_succ.(d).(k) + 1
+      end
+      else if Ordered_list.remove ~start:head k then
+        rem_succ.(d).(k) <- rem_succ.(d).(k) + 1
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  Ordered_list.check_sorted ~start:head;
+  let final = Ordered_list.keys_from ~start:head () in
+  for k = 1 to keys do
+    let net = ref 0 in
+    for d = 0 to domains - 1 do
+      net := !net + ins_succ.(d).(k) - rem_succ.(d).(k)
+    done;
+    Alcotest.(check bool)
+      (Printf.sprintf "key %d membership matches ledger" k)
+      (!net = 1) (List.mem k final)
+  done
+
+let suite =
+  [
+    ( "ordered-list",
+      [
+        Alcotest.test_case "insert/mem" `Quick test_insert_mem;
+        Alcotest.test_case "remove" `Quick test_remove;
+        Alcotest.test_case "keys sorted" `Quick test_keys_sorted;
+        Alcotest.test_case "interior start" `Quick test_interior_start;
+        Alcotest.test_case "insert_or_find idempotent" `Quick
+          test_insert_or_find_idempotent;
+        QCheck_alcotest.to_alcotest prop_model;
+        Alcotest.test_case "concurrent ledger" `Slow test_concurrent_ledger;
+      ] );
+  ]

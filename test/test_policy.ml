@@ -1,0 +1,68 @@
+open Nbhash
+
+let test_default_valid () = Policy.validate Policy.default
+let test_aggressive_valid () = Policy.validate Policy.aggressive
+
+let test_presized () =
+  let p = Policy.presized 100 in
+  Policy.validate p;
+  Alcotest.(check bool) "resizing disabled" false p.Policy.enabled;
+  Alcotest.(check int) "rounded to a power of two" 128 p.Policy.init_buckets
+
+let expect_invalid name p =
+  Alcotest.test_case name `Quick (fun () ->
+      match Policy.validate p with
+      | () -> Alcotest.failf "expected %s to be rejected" name
+      | exception Invalid_argument _ -> ())
+
+let suite =
+  [
+    ( "policy",
+      [
+        Alcotest.test_case "default valid" `Quick test_default_valid;
+        Alcotest.test_case "aggressive valid" `Quick test_aggressive_valid;
+        Alcotest.test_case "bucket-size default valid" `Quick (fun () ->
+            Policy.validate Policy.bucket_size_default);
+        Alcotest.test_case "presized" `Quick test_presized;
+        expect_invalid "non-power-of-two init"
+          { Policy.default with init_buckets = 3 };
+        expect_invalid "non-power-of-two period"
+          {
+            Policy.default with
+            heuristic =
+              Policy.Bucket_size
+                {
+                  grow_threshold = 12;
+                  shrink_threshold = 3;
+                  shrink_samples = 4;
+                  shrink_period = 5;
+                };
+          };
+        expect_invalid "bounds out of order"
+          { Policy.default with min_buckets = 8; max_buckets = 4 };
+        expect_invalid "init below min"
+          { Policy.default with min_buckets = 4; init_buckets = 1 };
+        expect_invalid "zero samples"
+          {
+            Policy.default with
+            heuristic =
+              Policy.Bucket_size
+                {
+                  grow_threshold = 12;
+                  shrink_threshold = 3;
+                  shrink_samples = 0;
+                  shrink_period = 64;
+                };
+          };
+        expect_invalid "shrink >= grow"
+          {
+            Policy.default with
+            heuristic = Policy.Load_factor { grow = 2.0; shrink = 2.0 };
+          };
+        expect_invalid "band too narrow"
+          {
+            Policy.default with
+            heuristic = Policy.Load_factor { grow = 2.0; shrink = 1.5 };
+          };
+      ] );
+  ]

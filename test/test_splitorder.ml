@@ -1,0 +1,118 @@
+open Nbhash_splitorder
+module Policy = Nbhash.Policy
+
+let fresh ?(policy = Nbhash.Policy.presized 2) () =
+  let t = Split_ordered.create ~policy () in
+  (t, Split_ordered.register t)
+
+let test_basic () =
+  let t, h = fresh () in
+  Alcotest.(check bool) "insert" true (Split_ordered.insert h 42);
+  Alcotest.(check bool) "dup" false (Split_ordered.insert h 42);
+  Alcotest.(check bool) "contains" true (Split_ordered.contains h 42);
+  Alcotest.(check bool) "remove" true (Split_ordered.remove h 42);
+  Alcotest.(check bool) "gone" false (Split_ordered.contains h 42);
+  Split_ordered.check_invariants t
+
+let test_grow_preserves () =
+  let t, h = fresh () in
+  let keys = List.init 300 (fun i -> i * 3) in
+  List.iter (fun k -> ignore (Split_ordered.insert h k)) keys;
+  for _ = 1 to 5 do
+    Split_ordered.force_resize h ~grow:true
+  done;
+  Alcotest.(check int) "buckets grew" 64 (Split_ordered.bucket_count t);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "present after grow" true
+        (Split_ordered.contains h k))
+    keys;
+  Split_ordered.check_invariants t
+
+let test_never_shrinks () =
+  let t, h = fresh () in
+  Split_ordered.force_resize h ~grow:true;
+  let size = Split_ordered.bucket_count t in
+  Split_ordered.force_resize h ~grow:false;
+  Alcotest.(check int) "shrink is a no-op" size (Split_ordered.bucket_count t)
+
+let test_dummies_accumulate () =
+  (* The limitation the paper highlights: marker nodes are permanent.
+     Touch many buckets, then remove all keys — dummies remain. *)
+  let t, h = fresh ~policy:(Nbhash.Policy.presized 64) () in
+  let keys = List.init 256 Fun.id in
+  List.iter (fun k -> ignore (Split_ordered.insert h k)) keys;
+  let with_keys = Split_ordered.dummy_count t in
+  Alcotest.(check bool) "many dummies created" true (with_keys > 32);
+  List.iter (fun k -> ignore (Split_ordered.remove h k)) keys;
+  Alcotest.(check int) "empty of elements" 0 (Split_ordered.cardinal t);
+  Alcotest.(check int) "dummies never reclaimed" with_keys
+    (Split_ordered.dummy_count t)
+
+let test_load_triggered_growth () =
+  let t, h =
+    fresh
+      ~policy:
+        {
+          Nbhash.Policy.default with
+          init_buckets = 2;
+          heuristic = Nbhash.Policy.Load_factor { grow = 4.0; shrink = 1.0 };
+        }
+      ()
+  in
+  for k = 0 to 499 do
+    ignore (Split_ordered.insert h k)
+  done;
+  Alcotest.(check bool) "grew under load" true
+    (Split_ordered.bucket_count t > 2);
+  for k = 0 to 499 do
+    if not (Split_ordered.contains h k) then Alcotest.failf "key %d lost" k
+  done;
+  Split_ordered.check_invariants t
+
+let test_elements_roundtrip () =
+  let t, h = fresh () in
+  let keys = [ 0; 1; 2; 1023; 4096; (1 lsl 61) - 1 ] in
+  List.iter (fun k -> ignore (Split_ordered.insert h k)) keys;
+  let got = Split_ordered.elements t in
+  Array.sort compare got;
+  Alcotest.(check (array int)) "so-key decoding roundtrips"
+    (Array.of_list (List.sort compare keys))
+    got
+
+let prop_model =
+  QCheck2.Test.make ~name:"SplitOrder matches a model across growth"
+    ~count:150
+    QCheck2.Gen.(small_list (pair (int_bound 2) (int_bound 63)))
+    (fun ops ->
+      let _, h = fresh ~policy:(Nbhash.Policy.presized 2) () in
+      let model = Hashtbl.create 32 in
+      let step i (c, k) =
+        if i mod 17 = 16 then Split_ordered.force_resize h ~grow:true;
+        match c with
+        | 0 ->
+          let expected = not (Hashtbl.mem model k) in
+          Hashtbl.replace model k ();
+          Split_ordered.insert h k = expected
+        | 1 ->
+          let expected = Hashtbl.mem model k in
+          Hashtbl.remove model k;
+          Split_ordered.remove h k = expected
+        | _ -> Split_ordered.contains h k = Hashtbl.mem model k
+      in
+      List.for_all Fun.id (List.mapi step ops))
+
+let suite =
+  [
+    ( "split-ordered",
+      [
+        Alcotest.test_case "basic" `Quick test_basic;
+        Alcotest.test_case "grow preserves keys" `Quick test_grow_preserves;
+        Alcotest.test_case "never shrinks" `Quick test_never_shrinks;
+        Alcotest.test_case "dummies accumulate" `Quick test_dummies_accumulate;
+        Alcotest.test_case "load-triggered growth" `Quick
+          test_load_triggered_growth;
+        Alcotest.test_case "elements roundtrip" `Quick test_elements_roundtrip;
+        QCheck_alcotest.to_alcotest prop_model;
+      ] );
+  ]

@@ -1,0 +1,57 @@
+open Nbhash_util
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  feq "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  feq "singleton" 7. (Stats.mean [| 7. |])
+
+let test_stddev () =
+  feq "constant" 0. (Stats.stddev [| 5.; 5.; 5. |]);
+  feq "sample stddev" (sqrt (5. /. 3.)) (Stats.stddev [| 1.; 2.; 3.; 4. |]);
+  feq "singleton" 0. (Stats.stddev [| 3. |])
+
+let test_percentile () =
+  let xs = [| 4.; 1.; 3.; 2. |] in
+  feq "p0" 1. (Stats.percentile xs 0.);
+  feq "p100" 4. (Stats.percentile xs 100.);
+  feq "p50" 2.5 (Stats.percentile xs 50.);
+  feq "p25" 1.75 (Stats.percentile xs 25.)
+
+let test_summarize () =
+  let s = Stats.summarize [| 3.; 1.; 2. |] in
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  feq "mean" 2. s.Stats.mean;
+  feq "min" 1. s.Stats.min;
+  feq "max" 3. s.Stats.max;
+  feq "median" 2. s.Stats.median
+
+let prop_percentile_monotone =
+  QCheck2.Test.make ~name:"percentile is monotone in p" ~count:300
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 1 20) (float_bound_exclusive 100.))
+        (pair (float_bound_inclusive 100.) (float_bound_inclusive 100.)))
+    (fun (xs, (p1, p2)) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
+
+let prop_mean_between_min_max =
+  QCheck2.Test.make ~name:"mean lies within [min, max]" ~count:300
+    QCheck2.Gen.(array_size (int_range 1 20) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      s.Stats.min <= s.Stats.mean +. 1e-9 && s.Stats.mean <= s.Stats.max +. 1e-9)
+
+let suite =
+  [
+    ( "stats",
+      [
+        Alcotest.test_case "mean" `Quick test_mean;
+        Alcotest.test_case "stddev" `Quick test_stddev;
+        Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "summarize" `Quick test_summarize;
+        QCheck_alcotest.to_alcotest prop_percentile_monotone;
+        QCheck_alcotest.to_alcotest prop_mean_between_min_max;
+      ] );
+  ]

@@ -1,0 +1,90 @@
+(* Targeted regression tests for specific algorithmic corners. *)
+
+module Factory = Nbhash_workload.Factory
+
+(* Announce-array capacity is a hard limit for the wait-free tables. *)
+let test_register_exhaustion () =
+  let module W = Nbhash.Tables.WFArray in
+  let t = W.create ~max_threads:2 () in
+  let _h1 = W.register t in
+  let _h2 = W.register t in
+  match W.register t with
+  | _ -> Alcotest.fail "third registration on max_threads=2 accepted"
+  | exception Failure _ -> ()
+
+(* Lock-free tables have no announce array and must not be limited. *)
+let test_register_unlimited () =
+  let module L = Nbhash.Tables.LFArray in
+  let t = L.create ~max_threads:1 () in
+  for _ = 1 to 10 do
+    ignore (L.register t)
+  done
+
+(* A key inserted once and never removed must be visible through every
+   moment of a resize storm: this pins the CONTAINS fallback path
+   (paper lines 13-18), including the re-read after the predecessor
+   vanishes. *)
+let contains_stability name () =
+  let maker = Factory.by_name name in
+  let table = maker ~policy:(Nbhash.Policy.presized 4) ~max_threads:8 () in
+  let setup = table.Factory.new_handle () in
+  let anchors = [ 3; 17; 40; 63 ] in
+  List.iter (fun k -> ignore (setup.Factory.ins k)) anchors;
+  let stop = Atomic.make false in
+  let failures = Atomic.make 0 in
+  let reader () =
+    let ops = table.Factory.new_handle () in
+    while not (Atomic.get stop) do
+      List.iter
+        (fun k -> if not (ops.Factory.look k) then ignore (Atomic.fetch_and_add failures 1))
+        anchors
+    done
+  in
+  let stormer () =
+    let ops = table.Factory.new_handle () in
+    for i = 1 to 400 do
+      ops.Factory.force_resize ~grow:(i mod 2 = 0)
+    done;
+    Atomic.set stop true
+  in
+  let churn () =
+    (* Unrelated keys come and go, driving lazy bucket initialization
+       from many different buckets. *)
+    let ops = table.Factory.new_handle () in
+    let rng = Nbhash_util.Xoshiro.create 31 in
+    while not (Atomic.get stop) do
+      let k = 64 + Nbhash_util.Xoshiro.below rng 192 in
+      ignore (ops.Factory.ins k);
+      ignore (ops.Factory.rem k)
+    done
+  in
+  let ds =
+    [ Domain.spawn reader; Domain.spawn reader; Domain.spawn churn ]
+  in
+  let st = Domain.spawn stormer in
+  List.iter Domain.join ds;
+  Domain.join st;
+  Alcotest.(check int)
+    (name ^ ": anchor keys never disappeared")
+    0 (Atomic.get failures)
+
+let dynamic_impls =
+  [ "LFArray"; "LFArrayOpt"; "LFList"; "LFUlist"; "WFArray"; "WFList";
+    "Adaptive"; "AdaptiveOpt" ]
+
+let suite =
+  [
+    ( "targeted",
+      [
+        Alcotest.test_case "register exhaustion (wait-free)" `Quick
+          test_register_exhaustion;
+        Alcotest.test_case "register unlimited (lock-free)" `Quick
+          test_register_unlimited;
+      ]
+      @ List.map
+          (fun name ->
+            Alcotest.test_case
+              (name ^ " contains stable under migration")
+              `Slow (contains_stability name))
+          dynamic_impls );
+  ]

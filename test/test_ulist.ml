@@ -1,0 +1,118 @@
+(* Unit tests specific to the unordered-list freezable set: the
+   enlist/resolve protocol corners that the generic conformance suite
+   does not pin down. *)
+
+module U = Nbhash_fset.Ulist_fset
+module Intset = Nbhash_fset.Intset
+open Nbhash_fset.Fset_intf
+
+let apply t kind k =
+  let op = U.make_op kind k in
+  Alcotest.(check bool) "invoke succeeds" true (U.invoke t op);
+  U.get_response op
+
+let test_insert_after_remove_same_key () =
+  (* ins k (Data), rem k (kills it), ins k again: the second insert's
+     walk must skip the killed node and the done remove. *)
+  let t = U.create [||] in
+  Alcotest.(check bool) "first insert" true (apply t Ins 7);
+  Alcotest.(check bool) "remove" true (apply t Rem 7);
+  Alcotest.(check bool) "reinsert" true (apply t Ins 7);
+  Alcotest.(check bool) "member" true (U.has_member t 7);
+  Alcotest.(check bool) "single live copy" true
+    (Intset.equal_as_sets [| 7 |] (U.elements t))
+
+let test_long_churn_stays_exact () =
+  (* Many ins/rem cycles on few keys: terminal nodes accumulate and
+     must be skipped/unlinked without corrupting membership. *)
+  let t = U.create [||] in
+  for round = 1 to 200 do
+    for k = 0 to 3 do
+      Alcotest.(check bool) "ins" true (apply t Ins k);
+      Alcotest.(check bool) "mem" true (U.has_member t k);
+      if (round + k) mod 2 = 0 then
+        Alcotest.(check bool) "rem" true (apply t Rem k)
+    done;
+    for k = 0 to 3 do
+      ignore (apply t Rem k)
+    done
+  done;
+  Alcotest.(check int) "empty at the end" 0 (U.size t)
+
+let test_duplicate_insert_window () =
+  let t = U.create [| 1; 2; 3 |] in
+  Alcotest.(check bool) "dup of initial element" false (apply t Ins 2);
+  Alcotest.(check bool) "remove initial" true (apply t Rem 2);
+  Alcotest.(check bool) "dup becomes fresh" true (apply t Ins 2)
+
+let test_remove_miss_then_hit () =
+  let t = U.create [||] in
+  Alcotest.(check bool) "miss" false (apply t Rem 9);
+  Alcotest.(check bool) "insert" true (apply t Ins 9);
+  Alcotest.(check bool) "hit" true (apply t Rem 9);
+  Alcotest.(check bool) "miss again" false (apply t Rem 9)
+
+let test_freeze_rejects_enlist () =
+  let t = U.create [| 4 |] in
+  let frozen = U.freeze t in
+  Alcotest.(check bool) "contents" true (Intset.equal_as_sets [| 4 |] frozen);
+  let op = U.make_op Ins 5 in
+  Alcotest.(check bool) "enlist after freeze fails" false (U.invoke t op);
+  Alcotest.(check bool) "set unchanged" true
+    (Intset.equal_as_sets [| 4 |] (U.elements t));
+  (* the failed op can be retried elsewhere: it was never enlisted *)
+  let t2 = U.create [||] in
+  Alcotest.(check bool) "op reusable on another set" true (U.invoke t2 op);
+  Alcotest.(check bool) "applied there" true (U.has_member t2 5)
+
+let test_freeze_empty_and_idempotent () =
+  let t = U.create [||] in
+  Alcotest.(check int) "empty freeze" 0 (Array.length (U.freeze t));
+  Alcotest.(check int) "refreeze" 0 (Array.length (U.freeze t));
+  Alcotest.(check bool) "frozen" true (U.is_frozen t)
+
+let apply_unchecked t kind k =
+  let op = U.make_op kind k in
+  ignore (U.invoke t op);
+  U.get_response op
+
+(* Hammer one key from many domains; per-key verdicts must alternate
+   (never two successful inserts without a successful remove between
+   them), which the ledger net-count detects. *)
+let test_single_key_storm () =
+  let t = U.create [||] in
+  let domains = 4 in
+  let net = Array.make domains 0 in
+  let worker d () =
+    let rng = Nbhash_util.Xoshiro.create (40 + d) in
+    for _ = 1 to 3_000 do
+      if Nbhash_util.Xoshiro.bool rng then begin
+        if apply_unchecked t Ins 1 then net.(d) <- net.(d) + 1
+      end
+      else if apply_unchecked t Rem 1 then net.(d) <- net.(d) - 1
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  let total = Array.fold_left ( + ) 0 net in
+  Alcotest.(check bool) "net 0 or 1" true (total = 0 || total = 1);
+  Alcotest.(check bool) "membership matches" (total = 1) (U.has_member t 1)
+
+let suite =
+  [
+    ( "ulist",
+      [
+        Alcotest.test_case "reinsert after remove" `Quick
+          test_insert_after_remove_same_key;
+        Alcotest.test_case "long churn stays exact" `Quick
+          test_long_churn_stays_exact;
+        Alcotest.test_case "duplicate insert window" `Quick
+          test_duplicate_insert_window;
+        Alcotest.test_case "remove miss/hit" `Quick test_remove_miss_then_hit;
+        Alcotest.test_case "freeze rejects enlist" `Quick
+          test_freeze_rejects_enlist;
+        Alcotest.test_case "freeze empty/idempotent" `Quick
+          test_freeze_empty_and_idempotent;
+        Alcotest.test_case "single-key storm" `Slow test_single_key_storm;
+      ] );
+  ]

@@ -1,0 +1,158 @@
+open Nbhash
+
+let fresh ?policy ?max_threads () =
+  let t = Wf_hashmap.create ?policy ?max_threads () in
+  (t, Wf_hashmap.register t)
+
+let test_put_get () =
+  let _, h = fresh () in
+  Alcotest.(check (option string)) "fresh" None (Wf_hashmap.put h 1 "one");
+  Alcotest.(check (option string)) "get" (Some "one") (Wf_hashmap.get h 1);
+  Alcotest.(check (option string)) "replace" (Some "one")
+    (Wf_hashmap.put h 1 "uno");
+  Alcotest.(check (option string)) "updated" (Some "uno") (Wf_hashmap.get h 1);
+  Alcotest.(check (option string)) "absent" None (Wf_hashmap.get h 2)
+
+let test_remove () =
+  let t, h = fresh () in
+  ignore (Wf_hashmap.put h 3 "x");
+  Alcotest.(check (option string)) "removed" (Some "x") (Wf_hashmap.remove h 3);
+  Alcotest.(check (option string)) "remove absent" None (Wf_hashmap.remove h 3);
+  Alcotest.(check bool) "mem" false (Wf_hashmap.mem h 3);
+  Alcotest.(check int) "empty" 0 (Wf_hashmap.cardinal t)
+
+let test_update () =
+  let _, h = fresh () in
+  let bump = function None -> 1 | Some v -> v + 1 in
+  Wf_hashmap.update h 9 bump;
+  Wf_hashmap.update h 9 bump;
+  Wf_hashmap.update h 9 bump;
+  Alcotest.(check (option int)) "counter" (Some 3) (Wf_hashmap.get h 9)
+
+let test_resize_roundtrip () =
+  let t, h = fresh ~policy:(Policy.presized 1) () in
+  for k = 0 to 199 do
+    ignore (Wf_hashmap.put h k (k * 3))
+  done;
+  Wf_hashmap.force_resize h ~grow:true;
+  Wf_hashmap.force_resize h ~grow:true;
+  Alcotest.(check int) "grown" 4 (Wf_hashmap.bucket_count t);
+  for k = 0 to 199 do
+    Alcotest.(check (option int)) "binding survives grow" (Some (k * 3))
+      (Wf_hashmap.get h k)
+  done;
+  Wf_hashmap.force_resize h ~grow:false;
+  Wf_hashmap.force_resize h ~grow:false;
+  Alcotest.(check int) "shrunk" 1 (Wf_hashmap.bucket_count t);
+  for k = 0 to 199 do
+    Alcotest.(check (option int)) "binding survives shrink" (Some (k * 3))
+      (Wf_hashmap.get h k)
+  done;
+  Wf_hashmap.check_invariants t;
+  let stats = Wf_hashmap.resize_stats t in
+  Alcotest.(check int) "grow count" 2 stats.Hashset_intf.grows;
+  Alcotest.(check int) "shrink count" 2 stats.Hashset_intf.shrinks
+
+let test_policy_growth () =
+  let t, h = fresh ~policy:Policy.default () in
+  for k = 0 to 1999 do
+    ignore (Wf_hashmap.put h k k)
+  done;
+  Alcotest.(check bool) "grew" true (Wf_hashmap.bucket_count t > 1);
+  Alcotest.(check int) "cardinal" 2000 (Wf_hashmap.cardinal t);
+  Wf_hashmap.check_invariants t
+
+let prop_model =
+  QCheck2.Test.make ~name:"Wf_hashmap matches a Hashtbl model" ~count:200
+    QCheck2.Gen.(small_list (pair (int_bound 3) (int_bound 31)))
+    (fun ops ->
+      let t, h = fresh ~policy:(Policy.presized 2) () in
+      let model = Hashtbl.create 16 in
+      let value k step = (k * 1000) + step in
+      let ok =
+        List.for_all Fun.id
+          (List.mapi
+             (fun i (c, k) ->
+               match c with
+               | 0 ->
+                 let expected = Hashtbl.find_opt model k in
+                 Hashtbl.replace model k (value k i);
+                 Wf_hashmap.put h k (value k i) = expected
+               | 1 ->
+                 let expected = Hashtbl.find_opt model k in
+                 Hashtbl.remove model k;
+                 Wf_hashmap.remove h k = expected
+               | 2 -> Wf_hashmap.get h k = Hashtbl.find_opt model k
+               | _ ->
+                 Wf_hashmap.force_resize h ~grow:(i mod 2 = 0);
+                 true)
+             ops)
+      in
+      Wf_hashmap.check_invariants t;
+      List.sort compare (Wf_hashmap.bindings t)
+      = (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []
+        |> List.sort compare)
+      && ok)
+
+let test_concurrent_counters () =
+  (* All domains bump the SAME key: updates are announced and helped,
+     and none may be lost or doubled. *)
+  let domains = 4 and bumps = 1_500 in
+  let t = Wf_hashmap.create ~policy:Policy.aggressive ~max_threads:8 () in
+  let bump = function None -> 1 | Some v -> v + 1 in
+  let worker () =
+    let h = Wf_hashmap.register t in
+    for _ = 1 to bumps do
+      Wf_hashmap.update h 5 bump
+    done
+  in
+  let ds = List.init domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  Wf_hashmap.check_invariants t;
+  let h = Wf_hashmap.register t in
+  Alcotest.(check (option int)) "exact count" (Some (domains * bumps))
+    (Wf_hashmap.get h 5)
+
+let test_concurrent_disjoint_with_storm () =
+  let domains = 3 and n = 1_000 in
+  let t = Wf_hashmap.create ~policy:(Policy.presized 4) ~max_threads:8 () in
+  let worker d () =
+    let h = Wf_hashmap.register t in
+    for i = 0 to n - 1 do
+      let k = (i * domains) + d in
+      ignore (Wf_hashmap.put h k (k * 2))
+    done
+  in
+  let stormer () =
+    let h = Wf_hashmap.register t in
+    for i = 1 to 100 do
+      Wf_hashmap.force_resize h ~grow:(i mod 2 = 0)
+    done
+  in
+  let ds = Domain.spawn stormer :: List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  Wf_hashmap.check_invariants t;
+  Alcotest.(check int) "all bindings present" (domains * n)
+    (Wf_hashmap.cardinal t);
+  let h = Wf_hashmap.register t in
+  for k = 0 to (domains * n) - 1 do
+    if Wf_hashmap.get h k <> Some (k * 2) then
+      Alcotest.failf "binding %d lost or corrupted" k
+  done
+
+let suite =
+  [
+    ( "wf-hashmap",
+      [
+        Alcotest.test_case "put/get" `Quick test_put_get;
+        Alcotest.test_case "remove" `Quick test_remove;
+        Alcotest.test_case "update" `Quick test_update;
+        Alcotest.test_case "resize roundtrip" `Quick test_resize_roundtrip;
+        Alcotest.test_case "policy growth" `Quick test_policy_growth;
+        QCheck_alcotest.to_alcotest prop_model;
+        Alcotest.test_case "concurrent shared counter" `Slow
+          test_concurrent_counters;
+        Alcotest.test_case "disjoint puts under storm" `Slow
+          test_concurrent_disjoint_with_storm;
+      ] );
+  ]

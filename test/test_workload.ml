@@ -1,0 +1,128 @@
+open Nbhash_workload
+
+let test_spec_validation () =
+  (match Workload.spec ~key_range:1 () with
+  | _ -> Alcotest.fail "key_range 1 accepted"
+  | exception Invalid_argument _ -> ());
+  match Workload.spec ~lookup_ratio:1.5 ~key_range:16 () with
+  | _ -> Alcotest.fail "lookup_ratio 1.5 accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_mix_ratios () =
+  let spec = Workload.spec ~lookup_ratio:0.8 ~key_range:128 () in
+  let rng = Nbhash_util.Xoshiro.create 3 in
+  let n = 20_000 in
+  let looks = ref 0 and inss = ref 0 and rems = ref 0 in
+  for _ = 1 to n do
+    match Workload.next spec rng with
+    | Workload.Lookup, k ->
+      assert (k >= 0 && k < 128);
+      incr looks
+    | Workload.Insert, _ -> incr inss
+    | Workload.Remove, _ -> incr rems
+  done;
+  let frac r = Float.of_int !r /. Float.of_int n in
+  Alcotest.(check bool) "lookups near 80%" true
+    (frac looks > 0.77 && frac looks < 0.83);
+  Alcotest.(check bool) "inserts near 10%" true
+    (frac inss > 0.08 && frac inss < 0.12);
+  Alcotest.(check bool) "removes near 10%" true
+    (frac rems > 0.08 && frac rems < 0.12)
+
+let test_pure_update_mix () =
+  let spec = Workload.spec ~lookup_ratio:0. ~key_range:16 () in
+  let rng = Nbhash_util.Xoshiro.create 4 in
+  for _ = 1 to 1_000 do
+    match Workload.next spec rng with
+    | Workload.Lookup, _ -> Alcotest.fail "lookup generated at L=0"
+    | (Workload.Insert | Workload.Remove), _ -> ()
+  done
+
+let test_zipf_skew () =
+  let spec =
+    Workload.spec ~lookup_ratio:1.0 ~dist:(Workload.Zipf 1.2) ~key_range:1024
+      ()
+  in
+  let rng = Nbhash_util.Xoshiro.create 8 in
+  let counts = Hashtbl.create 64 in
+  let n = 30_000 in
+  for _ = 1 to n do
+    match Workload.next spec rng with
+    | Workload.Lookup, k ->
+      assert (k >= 0 && k < 1024);
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+    | (Workload.Insert | Workload.Remove), _ -> Alcotest.fail "not a lookup"
+  done;
+  (* heavy skew: the hottest key takes a large share, and the ten
+     hottest together dominate (uniform would give them ~1%) *)
+  let sorted =
+    Hashtbl.fold (fun _ c acc -> c :: acc) counts []
+    |> List.sort (fun a b -> compare b a)
+  in
+  let top = List.hd sorted in
+  let top10 = List.fold_left ( + ) 0 (List.filteri (fun i _ -> i < 10) sorted) in
+  Alcotest.(check bool) "head key dominates" true
+    (Float.of_int top /. Float.of_int n > 0.1);
+  Alcotest.(check bool) "top-10 keys take over a third" true
+    (Float.of_int top10 /. Float.of_int n > 0.35)
+
+let test_barrier () =
+  let n = 4 in
+  let b = Barrier.create n in
+  let counter = Atomic.make 0 in
+  let after = Atomic.make 0 in
+  let worker () =
+    ignore (Atomic.fetch_and_add counter 1);
+    Barrier.wait b;
+    (* Everyone must have arrived before anyone proceeds. *)
+    let arrived = Atomic.get counter in
+    ignore (Atomic.fetch_and_add after 1);
+    Barrier.wait b;
+    (arrived, Atomic.get after)
+  in
+  let ds = List.init n (fun _ -> Domain.spawn worker) in
+  let observations = List.map Domain.join ds in
+  List.iter
+    (fun (arrived, second) ->
+      Alcotest.(check int) "all arrived before release" n arrived;
+      Alcotest.(check int) "reusable" n second)
+    observations
+
+let test_prepopulate () =
+  let maker = Factory.by_name "LFArray" in
+  let table = maker ~policy:(Nbhash.Policy.presized 64) () in
+  let spec = Workload.spec ~key_range:2048 () in
+  Runner.prepopulate table spec ~seed:9;
+  let c = table.Factory.cardinal () in
+  Alcotest.(check bool) "roughly half full" true (c > 850 && c < 1200)
+
+let test_runner_smoke () =
+  let maker = Factory.by_name "LFArrayOpt" in
+  let table = maker ~policy:(Nbhash.Policy.presized 64) () in
+  let spec = Workload.spec ~lookup_ratio:0.5 ~key_range:256 () in
+  let r = Runner.run table ~threads:2 ~spec ~duration:0.1 () in
+  Alcotest.(check bool) "made progress" true (r.Runner.total_ops > 0);
+  Alcotest.(check bool) "throughput positive" true (r.Runner.throughput > 0.);
+  table.Factory.check_invariants ()
+
+let test_factory_names () =
+  List.iter
+    (fun ((name, maker) : string * Factory.maker) ->
+      let table = maker () in
+      Alcotest.(check string) "name matches" name table.Factory.name)
+    Factory.with_michael
+
+let suite =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "spec validation" `Quick test_spec_validation;
+        Alcotest.test_case "mix ratios" `Quick test_mix_ratios;
+        Alcotest.test_case "pure update mix" `Quick test_pure_update_mix;
+        Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+        Alcotest.test_case "barrier" `Quick test_barrier;
+        Alcotest.test_case "prepopulate" `Quick test_prepopulate;
+        Alcotest.test_case "runner smoke" `Slow test_runner_smoke;
+        Alcotest.test_case "factory names" `Quick test_factory_names;
+      ] );
+  ]

@@ -1,0 +1,80 @@
+open Nbhash_util
+
+let test_deterministic () =
+  let a = Xoshiro.create 7 and b = Xoshiro.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Xoshiro.next a) (Xoshiro.next b)
+  done
+
+let test_seeds_differ () =
+  let a = Xoshiro.create 1 and b = Xoshiro.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Xoshiro.next a = Xoshiro.next b then incr same
+  done;
+  Alcotest.(check bool) "streams diverge" true (!same < 5)
+
+let test_split_independent () =
+  let a = Xoshiro.create 3 in
+  let b = Xoshiro.split a in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Xoshiro.next a = Xoshiro.next b then incr same
+  done;
+  Alcotest.(check bool) "split stream diverges" true (!same < 5)
+
+let test_non_negative () =
+  let rng = Xoshiro.create 11 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "non-negative" true (Xoshiro.next rng >= 0)
+  done
+
+let prop_below_in_range =
+  QCheck2.Test.make ~name:"below lands in [0, n)" ~count:1000
+    QCheck2.Gen.(pair small_int (int_range 1 10_000))
+    (fun (seed, n) ->
+      let rng = Xoshiro.create seed in
+      let v = Xoshiro.below rng n in
+      v >= 0 && v < n)
+
+let prop_float_unit_interval =
+  QCheck2.Test.make ~name:"float lands in [0, 1)" ~count:1000
+    QCheck2.Gen.small_int (fun seed ->
+      let rng = Xoshiro.create seed in
+      let v = Xoshiro.float rng in
+      v >= 0. && v < 1.)
+
+let test_below_covers () =
+  (* Every residue of a small modulus should appear quickly: a crude
+     uniformity check that catches masking bugs. *)
+  let rng = Xoshiro.create 5 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 2000 do
+    seen.(Xoshiro.below rng 7) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_bool_balanced () =
+  let rng = Xoshiro.create 13 in
+  let trues = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Xoshiro.bool rng then incr trues
+  done;
+  let ratio = Float.of_int !trues /. Float.of_int n in
+  Alcotest.(check bool) "roughly balanced" true (ratio > 0.45 && ratio < 0.55)
+
+let suite =
+  [
+    ( "xoshiro",
+      [
+        Alcotest.test_case "deterministic per seed" `Quick test_deterministic;
+        Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+        Alcotest.test_case "split independence" `Quick test_split_independent;
+        Alcotest.test_case "non-negative draws" `Quick test_non_negative;
+        Alcotest.test_case "below covers residues" `Quick test_below_covers;
+        Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+        QCheck_alcotest.to_alcotest prop_below_in_range;
+        QCheck_alcotest.to_alcotest prop_float_unit_interval;
+      ] );
+  ]

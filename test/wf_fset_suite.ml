@@ -1,0 +1,120 @@
+(* Conformance suite for cooperative wait-free FSet implementations:
+   everything the lock-free suite checks, plus the at-most-once
+   (priority/done) protocol that helping relies on. *)
+
+open Nbhash_fset
+
+module Make (F : Fset_intf.WF) = struct
+  let prio = ref 0
+
+  let fresh_op kind k =
+    incr prio;
+    F.make_op kind k ~prio:!prio
+
+  let apply t kind k =
+    let op = fresh_op kind k in
+    Alcotest.(check bool) "invoke on mutable set succeeds" true (F.invoke t op);
+    F.get_response op
+
+  let ins t k = apply t Fset_intf.Ins k
+  let rem t k = apply t Fset_intf.Rem k
+
+  let test_basic_semantics () =
+    let t = F.create [||] in
+    Alcotest.(check bool) "insert new" true (ins t 1);
+    Alcotest.(check bool) "insert dup" false (ins t 1);
+    Alcotest.(check bool) "member" true (F.has_member t 1);
+    Alcotest.(check bool) "remove" true (rem t 1);
+    Alcotest.(check bool) "remove absent" false (rem t 1);
+    Alcotest.(check bool) "empty" false (F.has_member t 1)
+
+  let test_op_done_transitions () =
+    let t = F.create [||] in
+    let op = fresh_op Fset_intf.Ins 3 in
+    Alcotest.(check bool) "not done before" false (F.op_is_done op);
+    Alcotest.(check bool) "applies" true (F.invoke t op);
+    Alcotest.(check bool) "done after" true (F.op_is_done op);
+    Alcotest.(check int) "prio is infinity" F.infinity_prio (F.op_prio op)
+
+  let test_at_most_once () =
+    let t = F.create [||] in
+    let op = fresh_op Fset_intf.Ins 5 in
+    Alcotest.(check bool) "first invoke" true (F.invoke t op);
+    (* Re-invoking a done operation must be a no-op that still reports
+       success — this is what makes helping safe. *)
+    Alcotest.(check bool) "second invoke still true" true (F.invoke t op);
+    Alcotest.(check bool) "response preserved" true (F.get_response op);
+    Alcotest.(check int) "applied exactly once" 1 (F.size t);
+    let op2 = fresh_op Fset_intf.Rem 5 in
+    Alcotest.(check bool) "remove once" true (F.invoke t op2);
+    Alcotest.(check bool) "remove re-invoke" true (F.invoke t op2);
+    Alcotest.(check int) "exactly removed" 0 (F.size t)
+
+  let test_inert_op () =
+    let t = F.create [||] in
+    let op = F.make_op Fset_intf.Ins 9 ~prio:F.infinity_prio in
+    Alcotest.(check bool) "inert op reports done" true (F.invoke t op);
+    Alcotest.(check bool) "inert op did not execute" false (F.has_member t 9)
+
+  let test_freeze () =
+    let t = F.create [| 1; 2 |] in
+    let final = F.freeze t in
+    Alcotest.(check bool) "freeze returns contents" true
+      (Intset.equal_as_sets [| 1; 2 |] final);
+    Alcotest.(check bool) "frozen" true (F.is_frozen t);
+    let op = fresh_op Fset_intf.Ins 7 in
+    Alcotest.(check bool) "invoke on frozen fails" false (F.invoke t op);
+    Alcotest.(check bool) "op not done" false (F.op_is_done op);
+    Alcotest.(check bool) "set unchanged" true
+      (Intset.equal_as_sets [| 1; 2 |] (F.elements t))
+
+  let test_freeze_done_op_still_true () =
+    let t = F.create [||] in
+    let op = fresh_op Fset_intf.Ins 4 in
+    Alcotest.(check bool) "applied" true (F.invoke t op);
+    ignore (F.freeze t);
+    Alcotest.(check bool) "done op reports true after freeze" true
+      (F.invoke t op)
+
+  let test_op_accessors () =
+    let op = fresh_op Fset_intf.Rem 42 in
+    Alcotest.(check int) "key" 42 (F.op_key op);
+    Alcotest.(check bool) "kind" true (F.op_kind op = Fset_intf.Rem)
+
+  let trace_gen =
+    QCheck2.Gen.(
+      small_list (pair bool (int_bound 15))
+      |> map
+           (List.map (fun (is_ins, k) ->
+                ((if is_ins then Fset_intf.Ins else Fset_intf.Rem), k))))
+
+  let prop_trace_equivalence =
+    QCheck2.Test.make
+      ~name:(F.id ^ ": random traces match the sequential specification")
+      ~count:300 trace_gen
+      (fun ops ->
+        let t = F.create [| 0; 2; 4 |] in
+        let m = Seq_fset.create [| 0; 2; 4 |] in
+        List.for_all
+          (fun (kind, k) ->
+            let got = apply t kind k in
+            let mop = Seq_fset.make_op kind k in
+            ignore (Seq_fset.invoke m mop);
+            got = Seq_fset.get_response mop)
+          ops
+        && Intset.equal_as_sets (F.elements t) (Seq_fset.elements m))
+
+  let suite =
+    ( "fset-" ^ F.id,
+      [
+        Alcotest.test_case "basic semantics" `Quick test_basic_semantics;
+        Alcotest.test_case "done transitions" `Quick test_op_done_transitions;
+        Alcotest.test_case "at-most-once" `Quick test_at_most_once;
+        Alcotest.test_case "inert op" `Quick test_inert_op;
+        Alcotest.test_case "freeze" `Quick test_freeze;
+        Alcotest.test_case "freeze vs done op" `Quick
+          test_freeze_done_op_still_true;
+        Alcotest.test_case "op accessors" `Quick test_op_accessors;
+        QCheck_alcotest.to_alcotest prop_trace_equivalence;
+      ] )
+end
