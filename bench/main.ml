@@ -5,7 +5,10 @@
    Subcommands (default: every section in quick mode):
      f7 | x86 | policy | adaptive | shrink | fset | latency | all
    Flags:
-     --full   paper-scale parameters (longer trials, more configs)
+     --full        paper-scale parameters (longer trials, more configs)
+     --smoke       seconds-scale parameters (CI sanity; overrides --full)
+     --telemetry   install a recording probe; print per-impl event tables
+     --json PATH   write machine-readable results (implies --telemetry)
 
    Throughputs are reported in operations per microsecond, as in the
    paper's charts. Absolute numbers are not comparable to the paper's
@@ -20,6 +23,66 @@ module Report = Nbhash_workload.Report
 module Policy = Nbhash.Policy
 
 let full = ref false
+let smoke = ref false
+let telemetry = ref false
+let json_path = ref None
+
+(* --- machine-readable trajectory (--json) --- *)
+
+(* One object per (experiment, implementation, parameter point)
+   measurement, accumulated in reverse and written as one document at
+   exit. The schema is stable: consumers key on [schema]. *)
+let json_results : string list ref = ref []
+
+let emit_json ~exp ~impl ~params ~ops_per_usec ~telemetry =
+  if !json_path <> None then begin
+    let params =
+      String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) params)
+    in
+    let tele =
+      match telemetry with
+      | Some s -> Nbhash_telemetry.Snapshot.to_json s
+      | None -> "null"
+    in
+    json_results :=
+      Printf.sprintf
+        "{\"exp\":\"%s\",\"impl\":\"%s\",\"params\":{%s},\"ops_per_usec\":%.6f,\"telemetry\":%s}"
+        exp impl params ops_per_usec tele
+      :: !json_results
+  end
+
+let write_json () =
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Printf.fprintf oc
+          "{\"schema\":\"nbhash-bench-v1\",\"mode\":\"%s\",\"results\":[%s]}\n"
+          (if !smoke then "smoke" else if !full then "full" else "quick")
+          (String.concat ",\n" (List.rev !json_results)));
+    Printf.printf "\nwrote %d results to %s\n" (List.length !json_results) path
+
+(* --- per-table telemetry accumulated under --telemetry --- *)
+
+let telemetry_acc : (string * Nbhash_telemetry.Snapshot.t) list ref = ref []
+
+let note_telemetry name = function
+  | Some snap -> telemetry_acc := (name, snap) :: !telemetry_acc
+  | None -> ()
+
+(* Print (and clear) the snapshots gathered since the last flush,
+   i.e. the rows of the table that was just rendered. *)
+let flush_telemetry () =
+  match List.rev !telemetry_acc with
+  | [] -> ()
+  | rows ->
+    telemetry_acc := [];
+    print_endline "telemetry (measurement window):";
+    Report.print_telemetry rows
 
 (* The dynamic tables run with resizing enabled, as in the paper; the
    SplitOrder baseline is presized for each experiment ("optimized its
@@ -34,15 +97,27 @@ let policy_for name ~key_range =
 let make_table (name, (maker : Factory.maker)) ~key_range ~threads () =
   maker ~policy:(policy_for name ~key_range) ~max_threads:(threads + 2) ()
 
-let throughput_of (name, maker) ~key_range ~lookup_ratio ~threads ~duration
-    ~trials =
+let throughput_of (name, maker) ~exp ~key_range ~lookup_ratio ~threads
+    ~duration ~trials =
   let spec = Workload.spec ~lookup_ratio ~key_range () in
-  let _, summary =
+  let last, summary =
     Runner.run_trials
       (make_table (name, maker) ~key_range ~threads)
       ~threads ~spec ~duration ~trials
   in
-  summary.Nbhash_util.Stats.median
+  let median = summary.Nbhash_util.Stats.median in
+  emit_json ~exp ~impl:name
+    ~params:
+      [
+        ("threads", string_of_int threads);
+        ("key_range", string_of_int key_range);
+        ("lookup_ratio", Printf.sprintf "%.2f" lookup_ratio);
+        ("duration", Printf.sprintf "%.2f" duration);
+        ("trials", string_of_int trials);
+      ]
+    ~ops_per_usec:median ~telemetry:last.Runner.telemetry;
+  note_telemetry name last.Runner.telemetry;
+  median
 
 (* ------------------------------------------------------------------ *)
 (* F7: the microbenchmark grid of Figure 7.                            *)
@@ -50,13 +125,21 @@ let throughput_of (name, maker) ~key_range ~lookup_ratio ~threads ~duration
 let f7 () =
   Report.print_heading
     "F7: Microbenchmark throughput grid (Figure 7) [ops/usec]";
-  let ratios = if !full then [ 0.0; 0.34; 0.9 ] else [ 0.0; 0.9 ] in
-  let ranges =
-    if !full then [ 1 lsl 8; 1 lsl 16; 1 lsl 20 ] else [ 1 lsl 8; 1 lsl 16 ]
+  let ratios =
+    if !smoke then [ 0.9 ]
+    else if !full then [ 0.0; 0.34; 0.9 ]
+    else [ 0.0; 0.9 ]
   in
-  let threads = if !full then [ 1; 2; 4; 8 ] else [ 1; 4 ] in
-  let duration = if !full then 1.0 else 0.3 in
-  let trials = if !full then 3 else 2 in
+  let ranges =
+    if !smoke then [ 1 lsl 8 ]
+    else if !full then [ 1 lsl 8; 1 lsl 16; 1 lsl 20 ]
+    else [ 1 lsl 8; 1 lsl 16 ]
+  in
+  let threads =
+    if !smoke then [ 2 ] else if !full then [ 1; 2; 4; 8 ] else [ 1; 4 ]
+  in
+  let duration = if !smoke then 0.05 else if !full then 1.0 else 0.3 in
+  let trials = if !smoke then 1 else if !full then 3 else 2 in
   List.iter
     (fun key_range ->
       List.iter
@@ -74,12 +157,13 @@ let f7 () =
                 :: List.map
                      (fun t ->
                        Report.ops_per_usec
-                         (throughput_of alg ~key_range ~lookup_ratio
-                            ~threads:t ~duration ~trials))
+                         (throughput_of alg ~exp:"f7" ~key_range
+                            ~lookup_ratio ~threads:t ~duration ~trials))
                      threads)
               Factory.all_eight
           in
-          Report.print_table ~header ~rows)
+          Report.print_table ~header ~rows;
+          flush_telemetry ())
         ratios)
     ranges
 
@@ -87,14 +171,17 @@ let f7 () =
 (* T-x86: the textual claims of section 8.2 as a table.                *)
 
 let x86 () =
-  Report.print_heading "T-x86: section 8.2 comparison (range 2^16) [ops/usec]";
-  let key_range = 1 lsl 16 in
-  let threads = if !full then 4 else 1 in
-  let duration = if !full then 1.0 else 0.4 in
-  let trials = if !full then 5 else 3 in
+  let key_range = if !smoke then 1 lsl 10 else 1 lsl 16 in
+  Report.print_heading
+    (Printf.sprintf "T-x86: section 8.2 comparison (range 2^%d) [ops/usec]"
+       (Nbhash_util.Bits.log2 key_range));
+  let threads = if !smoke then 2 else if !full then 4 else 1 in
+  let duration = if !smoke then 0.1 else if !full then 1.0 else 0.4 in
+  let trials = if !smoke then 1 else if !full then 5 else 3 in
   let ratios = [ 0.34; 0.9 ] in
   let cell alg lookup_ratio =
-    throughput_of alg ~key_range ~lookup_ratio ~threads ~duration ~trials
+    throughput_of alg ~exp:"x86" ~key_range ~lookup_ratio ~threads ~duration
+      ~trials
   in
   let results =
     List.map
@@ -109,6 +196,7 @@ let x86 () =
     List.map (fun (n, xs) -> n :: List.map Report.ops_per_usec xs) results
   in
   Report.print_table ~header ~rows;
+  flush_telemetry ();
   let get n = List.assoc n results in
   let ratio a b i = List.nth (get a) i /. List.nth (get b) i in
   Printf.printf
@@ -571,24 +659,37 @@ let sections =
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--full" then begin
-          full := true;
-          false
-        end
-        else true)
-      args
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--full" :: rest ->
+      full := true;
+      parse acc rest
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse acc rest
+    | "--telemetry" :: rest ->
+      telemetry := true;
+      parse acc rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse acc rest
+    | [ "--json" ] ->
+      prerr_endline "--json requires a path";
+      exit 1
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
+  if !smoke then full := false;
+  if !json_path <> None then telemetry := true;
+  if !telemetry then
+    Nbhash_telemetry.Global.install (Nbhash_telemetry.Probe.recording ());
   let chosen =
     match args with
     | [] | [ "all" ] -> List.map fst sections
     | names -> names
   in
   Printf.printf "nbhash benchmark harness (%s mode, %d cores visible)\n"
-    (if !full then "full" else "quick")
+    (if !smoke then "smoke" else if !full then "full" else "quick")
     (Domain.recommended_domain_count ());
   List.iter
     (fun name ->
@@ -598,4 +699,5 @@ let () =
         Printf.eprintf "unknown section %S; known: %s\n" name
           (String.concat ", " (List.map fst sections));
         exit 1)
-    chosen
+    chosen;
+  write_json ()

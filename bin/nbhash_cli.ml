@@ -2,11 +2,13 @@
 
      nbhash_cli run   --table LFArray --threads 4 --range 16 --lookup 0.9
      nbhash_cli sweep --threads 1,2,4 --range 16 --lookup 0.34
+     nbhash_cli stats --table WFArray --threads 2
      nbhash_cli list
 
    `run` measures one configuration; `sweep` prints one row per
-   implementation across a list of thread counts; `list` names the
-   available implementations. *)
+   implementation across a list of thread counts; `stats` runs one
+   configuration under a recording telemetry probe and prints the
+   event counters; `list` names the available implementations. *)
 
 open Cmdliner
 module Factory = Nbhash_workload.Factory
@@ -170,6 +172,40 @@ let hist_cmd =
   in
   Cmd.v (Cmd.info "hist" ~doc:"Bucket occupancy histogram.") term
 
+let stats_cmd =
+  (* One measured run under a recording probe; the snapshot covers the
+     measurement window only (the Runner resets at the barrier). *)
+  let stats table threads_list range_bits lookup duration presized seed json =
+    validate_table table;
+    Nbhash_telemetry.Global.install (Nbhash_telemetry.Probe.recording ());
+    List.iter
+      (fun threads ->
+        let last, _ =
+          measure table ~threads ~range_bits ~lookup ~duration ~trials:1
+            ~presized ~seed
+        in
+        Printf.printf "%s T=%d range=2^%d L=%.0f%%: %.3f ops/usec\n" table
+          threads range_bits (lookup *. 100.) last.Runner.throughput;
+        match last.Runner.telemetry with
+        | None -> print_endline "(no recording probe installed)"
+        | Some snap ->
+          if json then print_endline (Nbhash_telemetry.Snapshot.to_json snap)
+          else print_string (Nbhash_telemetry.Snapshot.to_string snap))
+      threads_list
+  in
+  let json_arg =
+    let doc = "Print the snapshot as JSON instead of a table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let term =
+    Term.(
+      const stats $ table_arg $ threads_list_arg $ range_arg $ lookup_arg
+      $ duration_arg $ presized_arg $ seed_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Measure one implementation with telemetry.")
+    term
+
 let list_cmd =
   let list () = List.iter print_endline table_names in
   Cmd.v
@@ -179,4 +215,6 @@ let list_cmd =
 let () =
   let doc = "dynamic-sized nonblocking hash table workbench" in
   let info = Cmd.info "nbhash_cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; hist_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; sweep_cmd; hist_cmd; stats_cmd; list_cmd ]))

@@ -1,0 +1,23 @@
+(* Reading table telemetry (TUTORIAL section 6): record the events a
+   workload generates inside the table, through the public aliases. *)
+
+module T = Nbhash.Tables.LFArrayOpt
+module Tel = Nbhash.Tables.Telemetry
+
+let () =
+  let set = T.create () in
+  let (), snap =
+    Tel.with_recording (fun () ->
+        let h = T.register set in
+        for k = 0 to 100_000 do
+          ignore (T.insert h k)
+        done;
+        T.unregister h)
+  in
+  Printf.printf "inserted %d keys into %d buckets; the table reported:\n"
+    (T.cardinal set) (T.bucket_count set);
+  print_string (Nbhash_telemetry.Snapshot.to_string snap);
+  assert (
+    Nbhash_telemetry.Snapshot.get snap Nbhash_telemetry.Event.Resize_grow
+    = (T.resize_stats set).Nbhash.Hashset_intf.grows);
+  print_endline "resize events == resize_stats: ok"

@@ -1,4 +1,7 @@
 module Make (E : Elems.S) : Fset_intf.S = struct
+  module Tm = Nbhash_telemetry.Global
+  module Ev = Nbhash_telemetry.Event
+
   type node = { elems : E.t; ok : bool }
   type t = node Atomic.t
   type op = { kind : Fset_intf.kind; key : int; mutable resp : bool }
@@ -29,7 +32,10 @@ module Make (E : Elems.S) : Fset_intf.S = struct
           op.resp <- true;
           true
         end
-        else invoke t op
+        else begin
+          Tm.emit Ev.Cas_retry;
+          invoke t op
+        end
       | Fset_intf.Rem ->
         if
           Atomic.compare_and_set t o
@@ -38,7 +44,10 @@ module Make (E : Elems.S) : Fset_intf.S = struct
           op.resp <- true;
           true
         end
-        else invoke t op
+        else begin
+          Tm.emit Ev.Cas_retry;
+          invoke t op
+        end
     end
 
   let get_response op = op.resp
@@ -46,9 +55,14 @@ module Make (E : Elems.S) : Fset_intf.S = struct
   let rec freeze t =
     let o = Atomic.get t in
     if not o.ok then E.to_array o.elems
-    else if Atomic.compare_and_set t o { elems = o.elems; ok = false } then
+    else if Atomic.compare_and_set t o { elems = o.elems; ok = false } then begin
+      Tm.emit Ev.Freeze;
       E.to_array o.elems
-    else freeze t
+    end
+    else begin
+      Tm.emit Ev.Cas_retry;
+      freeze t
+    end
 
   let has_member t k = E.mem (Atomic.get t).elems k
   let size t = E.length (Atomic.get t).elems

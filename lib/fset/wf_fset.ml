@@ -1,4 +1,7 @@
 module Make (E : Elems.S) : Fset_intf.WF = struct
+  module Tm = Nbhash_telemetry.Global
+  module Ev = Nbhash_telemetry.Event
+
   let infinity_prio = max_int
 
   type op = {
@@ -60,7 +63,11 @@ module Make (E : Elems.S) : Fset_intf.WF = struct
     match Atomic.get o.slot with
     | Frozen -> ()
     | Empty ->
-      if Atomic.compare_and_set o.slot Empty Frozen then () else do_freeze t
+      if Atomic.compare_and_set o.slot Empty Frozen then Tm.emit Ev.Freeze
+      else begin
+        Tm.emit Ev.Cas_retry;
+        do_freeze t
+      end
     | Pending _ ->
       help_finish t;
       do_freeze t
@@ -89,7 +96,10 @@ module Make (E : Elems.S) : Fset_intf.WF = struct
               help_finish t;
               true
             end
-            else invoke t op
+            else begin
+              Tm.emit Ev.Cas_retry;
+              invoke t op
+            end
           | Frozen -> op_is_done op
           | Pending _ ->
             help_finish t;

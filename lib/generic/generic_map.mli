@@ -10,6 +10,10 @@ module Make (K : Hashtbl.HashedType) : sig
   val create : ?policy:Nbhash.Policy.t -> unit -> 'v t
   val register : 'v t -> 'v handle
 
+  val unregister : 'v handle -> unit
+  (** Flush pending approximate-count deltas; the handle must not be
+      used afterwards. *)
+
   val put : 'v handle -> K.t -> 'v -> 'v option
   (** Bind the key; returns the previous binding. *)
 

@@ -72,6 +72,8 @@ module Make (K : Hashtbl.HashedType) = struct
           ~seed:(Atomic.fetch_and_add seed 1);
     }
 
+  let unregister h = Policy.Trigger.flush h.local
+
   let rec freeze_slot slot =
     match Atomic.get slot with
     | Uninit -> assert false

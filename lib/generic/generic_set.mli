@@ -15,6 +15,10 @@ module Make (K : Hashtbl.HashedType) : sig
   val create : ?policy:Nbhash.Policy.t -> unit -> t
   val register : t -> handle
 
+  val unregister : handle -> unit
+  (** Flush pending approximate-count deltas; the handle must not be
+      used afterwards. *)
+
   val add : handle -> K.t -> bool
   (** [true] iff the key was absent. *)
 

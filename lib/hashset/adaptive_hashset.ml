@@ -1,5 +1,7 @@
 module Make (F : Nbhash_fset.Fset_intf.WF) = struct
   module W = Wf_common.Make (F)
+  module Tm = Nbhash_telemetry.Global
+  module Ev = Nbhash_telemetry.Event
 
   type t = { w : W.t; fast_threshold : int; help_mask : int }
   type handle = { wh : W.handle; t : t }
@@ -26,6 +28,7 @@ module Make (F : Nbhash_fset.Fset_intf.WF) = struct
 
   let create ?policy ?max_threads () = create_tuned ?policy ?max_threads ()
   let register t = { wh = W.register t.w; t }
+  let unregister h = W.unregister h.wh
   let slow_path_entries h = h.wh.W.slow_entries
 
   (* Fast path: the lock-free APPLY, with a private (never-announced)
@@ -51,6 +54,7 @@ module Make (F : Nbhash_fset.Fset_intf.WF) = struct
     let wh = h.wh in
     wh.W.ops <- wh.W.ops + 1;
     if wh.W.ops land t.help_mask = 0 then W.help_lowest t.w;
+    Tm.emit Ev.Fastpath_entry;
     match fast_apply t kind k with
     | Some resp -> resp
     | None ->

@@ -1,4 +1,6 @@
 module Intset = Nbhash_fset.Intset
+module Tm = Nbhash_telemetry.Global
+module Ev = Nbhash_telemetry.Event
 
 let infinity_prio = max_int
 
@@ -97,6 +99,7 @@ let register table =
     slow_entries = 0;
   }
 
+let unregister h = Policy.Trigger.flush h.local
 let slow_path_entries h = h.slow_entries
 
 (* --- The cooperative wait-free FSet protocol, inlined on slots. --- *)
@@ -127,8 +130,14 @@ let rec do_freeze slot =
     match Atomic.get n.op with
     | Frozen -> n.elems
     | Empty ->
-      if Atomic.compare_and_set n.op Empty Frozen then n.elems
-      else do_freeze slot
+      if Atomic.compare_and_set n.op Empty Frozen then begin
+        Tm.emit Ev.Freeze;
+        n.elems
+      end
+      else begin
+        Tm.emit Ev.Cas_retry;
+        do_freeze slot
+      end
     | Pending _ ->
       help_finish slot;
       do_freeze slot)
@@ -159,7 +168,10 @@ let rec invoke hn i op =
               help_finish slot;
               true
             end
-            else invoke hn i op
+            else begin
+              Tm.emit Ev.Cas_retry;
+              invoke hn i op
+            end
           | Frozen -> op_is_done op
           | Pending _ ->
             help_finish slot;
@@ -201,7 +213,11 @@ let init_bucket hn i =
       else
         Intset.disjoint_union (freeze s i) (freeze s (i + hn.size))
     in
-    ignore (Atomic.compare_and_set hn.buckets.(i) Uninit (fresh_node elems))
+    if Atomic.compare_and_set hn.buckets.(i) Uninit (fresh_node elems)
+    then begin
+      Tm.emit Ev.Bucket_init;
+      Tm.add Ev.Keys_migrated (Array.length elems)
+    end
   | (N _ | Uninit), _ -> ());
   ()
 
@@ -219,14 +235,18 @@ let resize t grow =
     else hn.size / 2 >= t.policy.Policy.min_buckets
   in
   if (hn.size > 1 || grow) && within_bounds then begin
+    let start_ns = Tm.now_ns () in
     for i = 0 to hn.size - 1 do
       init_bucket hn i
     done;
     Atomic.set hn.pred None;
     let size = if grow then hn.size * 2 else hn.size / 2 in
     let hn' = make_hnode ~size ~pred:(Some hn) in
-    if Atomic.compare_and_set t.head hn hn' then
-      ignore (Atomic.fetch_and_add (if grow then t.grows else t.shrinks) 1)
+    if Atomic.compare_and_set t.head hn hn' then begin
+      ignore (Atomic.fetch_and_add (if grow then t.grows else t.shrinks) 1);
+      Tm.emit (if grow then Ev.Resize_grow else Ev.Resize_shrink);
+      Tm.record_span Ev.Resize_span ~start_ns
+    end
   end
 
 (* --- Announce-and-help (Figure 4) and the fast path. --- *)
@@ -243,7 +263,10 @@ let drive t op =
 let help_up_to t ~prio =
   for tid = 0 to Array.length t.slots - 1 do
     let op = Atomic.get t.slots.(tid) in
-    if Atomic.get op.prio <= prio then drive t op
+    if Atomic.get op.prio <= prio then begin
+      if not (op_is_done op) then Tm.emit Ev.Help_op;
+      drive t op
+    end
   done
 
 let help_lowest t =
@@ -257,15 +280,23 @@ let help_lowest t =
         | Some (bp, _) when bp <= p -> ()
         | Some _ | None -> best := Some (p, op))
     t.slots;
-  match !best with None -> () | Some (_, op) -> drive t op
+  match !best with
+  | None -> ()
+  | Some (_, op) ->
+    Tm.emit Ev.Help_op;
+    drive t op
 
 let slow_apply h kind k =
   let t = h.table in
+  Tm.emit Ev.Slowpath_entry;
+  let start_ns = Tm.now_ns () in
   let prio = Atomic.fetch_and_add t.counter 1 in
   let myop = make_op kind k ~prio in
   Atomic.set t.slots.(h.tid) myop;
   help_up_to t ~prio;
-  Atomic.get myop.resp
+  let resp = Atomic.get myop.resp in
+  Tm.record_span Ev.Slowpath_span ~start_ns;
+  resp
 
 let fast_apply t kind k =
   let op = make_op kind k ~prio:0 in
@@ -284,6 +315,7 @@ let apply h kind k =
   let t = h.table in
   h.ops <- h.ops + 1;
   if h.ops land t.help_mask = 0 then help_lowest t;
+  Tm.emit Ev.Fastpath_entry;
   match fast_apply t kind k with
   | Some resp -> resp
   | None ->
@@ -335,6 +367,7 @@ let contains h k =
   match Atomic.get hn.buckets.(k land hn.mask) with
   | N _ -> slot_member hn.buckets.(k land hn.mask) k
   | Uninit -> (
+    Tm.emit Ev.Contains_pred;
     match Atomic.get hn.pred with
     | Some s -> slot_member s.buckets.(k land s.mask) k
     | None -> slot_member hn.buckets.(k land hn.mask) k)

@@ -17,6 +17,10 @@ type 'v handle
 val create : ?policy:Policy.t -> unit -> 'v t
 val register : 'v t -> 'v handle
 
+val unregister : 'v handle -> unit
+(** Flush pending approximate-count deltas; the handle must not be
+    used afterwards. *)
+
 val put : 'v handle -> int -> 'v -> 'v option
 (** [put h k v] binds [k] to [v]; returns the previous binding. *)
 

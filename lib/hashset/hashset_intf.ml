@@ -27,6 +27,13 @@ module type S = sig
   (** Claim per-thread state. Raises [Failure] if more than
       [max_threads] handles are requested. *)
 
+  val unregister : handle -> unit
+  (** Release a handle: flush any pending approximate-count deltas to
+      the shared counter so the load-factor heuristic (and [cardinal]'s
+      underlying count) do not drift low under many short-lived
+      handles. The handle must not be used afterwards. Idempotent; a
+      no-op for structures with no batched per-handle state. *)
+
   val insert : handle -> int -> bool
   (** [insert h k] adds [k]; [true] iff [k] was absent. *)
 

@@ -11,6 +11,7 @@ module Make (K : KEY) (S : Hashset_intf.S) = struct
   let name = S.name ^ "-keyed"
   let create = S.create
   let register = S.register
+  let unregister = S.unregister
   let insert h k = S.insert h (K.to_int k)
   let remove h k = S.remove h (K.to_int k)
   let contains h k = S.contains h (K.to_int k)

@@ -22,6 +22,7 @@ module Make (K : KEY) (S : Hashset_intf.S) : sig
   val name : string
   val create : ?policy:Policy.t -> ?max_threads:int -> unit -> t
   val register : t -> handle
+  val unregister : handle -> unit
   val insert : handle -> K.t -> bool
   val remove : handle -> K.t -> bool
   val contains : handle -> K.t -> bool

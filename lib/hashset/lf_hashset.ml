@@ -1,5 +1,7 @@
 module Make (F : Nbhash_fset.Fset_intf.S) : Hashset_intf.S = struct
   module Core = Table_core.Make (F)
+  module Tm = Nbhash_telemetry.Global
+  module Ev = Nbhash_telemetry.Event
 
   type t = Core.t
   type handle = { table : t; local : Policy.Trigger.local }
@@ -19,13 +21,20 @@ module Make (F : Nbhash_fset.Fset_intf.S) : Hashset_intf.S = struct
           ~seed:(Atomic.fetch_and_add seed 1);
     }
 
+  let unregister h = Policy.Trigger.flush h.local
+
   (* APPLY (lines 29-37): retry against the current head until the
      operation lands in a mutable bucket. Each retry implies a resize
      completed in the interim. *)
   let rec apply t op k =
     let hn = Atomic.get t.Core.head in
     let b = Core.bucket_for hn k in
-    if F.invoke b op then F.get_response op else apply t op k
+    if F.invoke b op then F.get_response op
+    else begin
+      (* The bucket froze under us: a resize is being absorbed. *)
+      Tm.emit Ev.Cas_retry;
+      apply t op k
+    end
 
   let insert h k =
     Hashset_intf.check_key k;

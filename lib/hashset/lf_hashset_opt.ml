@@ -1,4 +1,6 @@
 module Intset = Nbhash_fset.Intset
+module Tm = Nbhash_telemetry.Global
+module Ev = Nbhash_telemetry.Event
 
 (* A bucket slot is directly the FSetNode: no FSet wrapper object.
    [Uninit] plays the role of the nil bucket pointer; the inline
@@ -57,6 +59,8 @@ let register table =
         ~seed:(Atomic.fetch_and_add seed 1);
   }
 
+let unregister h = Policy.Trigger.flush h.local
+
 (* FREEZE on a flattened bucket: CAS the ok bit off in place. The slot
    is a predecessor bucket and hence never [Uninit]. *)
 let rec freeze_slot slot =
@@ -65,8 +69,14 @@ let rec freeze_slot slot =
   | Node n as cur ->
     if not n.ok then n.elems
     else if Atomic.compare_and_set slot cur (Node { elems = n.elems; ok = false })
-    then n.elems
-    else freeze_slot slot
+    then begin
+      Tm.emit Ev.Freeze;
+      n.elems
+    end
+    else begin
+      Tm.emit Ev.Cas_retry;
+      freeze_slot slot
+    end
 
 let bucket_elems slot =
   match Atomic.get slot with Uninit -> assert false | Node n -> n.elems
@@ -85,9 +95,12 @@ let init_bucket hn i =
           (freeze_slot s.buckets.(i))
           (freeze_slot s.buckets.(i + hn.size))
     in
-    ignore
-      (Atomic.compare_and_set hn.buckets.(i) Uninit
-         (Node { elems; ok = true }))
+    if
+      Atomic.compare_and_set hn.buckets.(i) Uninit (Node { elems; ok = true })
+    then begin
+      Tm.emit Ev.Bucket_init;
+      Tm.add Ev.Keys_migrated (Array.length elems)
+    end
   | (Node _ | Uninit), _ -> ());
   hn.buckets.(i)
 
@@ -98,14 +111,18 @@ let resize t grow =
     else hn.size / 2 >= t.policy.Policy.min_buckets
   in
   if (hn.size > 1 || grow) && within_bounds then begin
+    let start_ns = Tm.now_ns () in
     for i = 0 to hn.size - 1 do
       ignore (init_bucket hn i)
     done;
     Atomic.set hn.pred None;
     let size = if grow then hn.size * 2 else hn.size / 2 in
     let hn' = make_hnode ~size ~pred:(Some hn) in
-    if Atomic.compare_and_set t.head hn hn' then
-      ignore (Atomic.fetch_and_add (if grow then t.grows else t.shrinks) 1)
+    if Atomic.compare_and_set t.head hn hn' then begin
+      ignore (Atomic.fetch_and_add (if grow then t.grows else t.shrinks) 1);
+      Tm.emit (if grow then Ev.Resize_grow else Ev.Resize_shrink);
+      Tm.record_span Ev.Resize_span ~start_ns
+    end
   end
 
 (* APPLY with the FSet INVOKE inlined against the slot: a frozen node
@@ -121,7 +138,10 @@ let rec run_op t kind k =
     ignore (init_bucket hn i);
     run_op t kind k
   | Node n as cur ->
-    if not n.ok then run_op t kind k
+    if not n.ok then begin
+      Tm.emit Ev.Cas_retry;
+      run_op t kind k
+    end
     else begin
       let present = Intset.mem n.elems k in
       match kind with
@@ -131,14 +151,20 @@ let rec run_op t kind k =
           Atomic.compare_and_set slot cur
             (Node { elems = Intset.add n.elems k; ok = true })
         then true
-        else run_op t kind k
+        else begin
+          Tm.emit Ev.Cas_retry;
+          run_op t kind k
+        end
       | Nbhash_fset.Fset_intf.Rem ->
         if not present then false
         else if
           Atomic.compare_and_set slot cur
             (Node { elems = Intset.remove n.elems k; ok = true })
         then true
-        else run_op t kind k
+        else begin
+          Tm.emit Ev.Cas_retry;
+          run_op t kind k
+        end
     end
 
 let slot_size slot =
@@ -182,6 +208,7 @@ let contains h k =
   match Atomic.get hn.buckets.(k land hn.mask) with
   | Node n -> Intset.mem n.elems k
   | Uninit ->
+    Tm.emit Ev.Contains_pred;
     let elems =
       match Atomic.get hn.pred with
       | Some s -> bucket_elems s.buckets.(k land s.mask)

@@ -124,11 +124,24 @@ module Counter = struct
   let make_shared () = Atomic.make 0
   let make_local shared = { shared; pending = 0 }
 
+  (* Fold any pending delta into the shared cell now. Without this, a
+     handle that stops short of the ±threshold loses its deltas
+     forever, and the approximate count drifts low under many
+     short-lived handles; table handle teardown ([unregister]) calls
+     it. *)
+  let flush l =
+    if l.pending <> 0 then begin
+      ignore (Atomic.fetch_and_add l.shared l.pending);
+      l.pending <- 0;
+      Nbhash_telemetry.Global.emit Nbhash_telemetry.Event.Counter_flush
+    end
+
   let note l delta =
     l.pending <- l.pending + delta;
     if abs l.pending >= flush_threshold then begin
       ignore (Atomic.fetch_and_add l.shared l.pending);
-      l.pending <- 0
+      l.pending <- 0;
+      Nbhash_telemetry.Global.emit Nbhash_telemetry.Event.Counter_flush
     end
 
   let approx (s : shared) = Atomic.get s
@@ -154,6 +167,10 @@ module Trigger = struct
 
   let note_insert l ~resp = if resp then Counter.note l.counter 1
   let note_remove l ~resp = if resp then Counter.note l.counter (-1)
+
+  (* Handle teardown: push any pending count deltas to the shared
+     cell so the load-factor heuristic keeps seeing them. *)
+  let flush l = Counter.flush l.counter
 
   let want_grow p shared ~cur_buckets ~inserted_bucket_size =
     p.enabled

@@ -14,6 +14,9 @@
     bucket is installed by CAS, an abstract-state-preserving step. *)
 
 module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
+  module Tm = Nbhash_telemetry.Global
+  module Ev = Nbhash_telemetry.Event
+
   type hnode = {
     buckets : F.t option Atomic.t array;
     size : int;
@@ -76,7 +79,14 @@ module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
           Nbhash_fset.Intset.disjoint_union (F.freeze m) (F.freeze n)
         end
       in
-      ignore (Atomic.compare_and_set hn.buckets.(i) None (Some (F.create elems)))
+      if Atomic.compare_and_set hn.buckets.(i) None (Some (F.create elems))
+      then begin
+        (* Only the installing thread accounts the migration, so the
+           keys_migrated total equals the table cardinality after one
+           full migration even when helpers race. *)
+        Tm.emit Ev.Bucket_init;
+        Tm.add Ev.Keys_migrated (Array.length elems)
+      end
     | (Some _ | None), _ -> ());
     match Atomic.get hn.buckets.(i) with
     | Some b -> b
@@ -106,15 +116,19 @@ module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
       else hn.size / 2 >= t.policy.Policy.min_buckets
     in
     if (hn.size > 1 || grow) && within_bounds then begin
+      let start_ns = Tm.now_ns () in
       for i = 0 to hn.size - 1 do
         ignore (init_bucket hn i)
       done;
       Atomic.set hn.pred None;
       let size = if grow then hn.size * 2 else hn.size / 2 in
       let hn' = make_hnode ~size ~pred:(Some hn) in
-      if Atomic.compare_and_set t.head hn hn' then
+      if Atomic.compare_and_set t.head hn hn' then begin
         ignore
-          (Atomic.fetch_and_add (if grow then t.grows else t.shrinks) 1)
+          (Atomic.fetch_and_add (if grow then t.grows else t.shrinks) 1);
+        Tm.emit (if grow then Ev.Resize_grow else Ev.Resize_shrink);
+        Tm.record_span Ev.Resize_span ~start_ns
+      end
     end
 
   (* CONTAINS: search the head bucket; if it is uninitialized, search
@@ -126,6 +140,7 @@ module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
     match Atomic.get hn.buckets.(k land hn.mask) with
     | Some b -> F.has_member b k
     | None ->
+      Tm.emit Ev.Contains_pred;
       let b =
         match Atomic.get hn.pred with
         | Some s -> pred_bucket s (k land s.mask)

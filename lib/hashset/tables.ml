@@ -19,3 +19,15 @@ module WFArray = Wf_hashset.Make (Nbhash_fset.Wf_array_fset)
 module WFList = Wf_hashset.Make (Nbhash_fset.Wf_list_fset)
 module Adaptive = Adaptive_hashset.Make (Nbhash_fset.Wf_array_fset)
 module AdaptiveOpt = Adaptive_hashset_opt
+
+(** Ambient telemetry over every table above: install a recording
+    probe ({!Telemetry.with_recording} or {!Telemetry.install}) and
+    the hot paths of all implementations report CAS retries, bucket
+    migrations, resizes, helping and path choices into it. With the
+    default no-op probe the instrumentation costs one atomic load per
+    site. *)
+module Telemetry = Nbhash_telemetry.Global
+
+type telemetry_snapshot = Nbhash_telemetry.Snapshot.t
+
+let telemetry_snapshot () = Nbhash_telemetry.Global.snapshot ()

@@ -11,6 +11,8 @@
 
 module Make (F : Nbhash_fset.Fset_intf.WF) = struct
   module Core = Table_core.Make (F)
+  module Tm = Nbhash_telemetry.Global
+  module Ev = Nbhash_telemetry.Event
 
   type t = {
     core : Core.t;
@@ -51,6 +53,11 @@ module Make (F : Nbhash_fset.Fset_intf.WF) = struct
       slow_entries = 0;
     }
 
+  (* The announce slot stays inert after teardown (its op priority is
+     infinity), so only the counter deltas need releasing. The tid is
+     not recycled: max_threads bounds lifetime registrations. *)
+  let unregister h = Policy.Trigger.flush h.local
+
   (* Drive one operation to completion against whatever bucket
      currently owns its key. Invoke fails only if the bucket was
      frozen, which implies the head changed; re-resolving the bucket
@@ -70,7 +77,10 @@ module Make (F : Nbhash_fset.Fset_intf.WF) = struct
   let help_up_to t ~prio =
     for tid = 0 to Array.length t.slots - 1 do
       let op = Atomic.get t.slots.(tid) in
-      if F.op_prio op <= prio then drive t op
+      if F.op_prio op <= prio then begin
+        if not (F.op_is_done op) then Tm.emit Ev.Help_op;
+        drive t op
+      end
     done
 
   (* Help the single oldest announced operation, if any: the periodic
@@ -87,17 +97,25 @@ module Make (F : Nbhash_fset.Fset_intf.WF) = struct
           | Some (bp, _) when bp <= p -> ()
           | Some _ | None -> best := Some (p, op))
       t.slots;
-    match !best with None -> () | Some (_, op) -> drive t op
+    match !best with
+    | None -> ()
+    | Some (_, op) ->
+      Tm.emit Ev.Help_op;
+      drive t op
 
   (* APPLY of Figure 4: announce, help everything at least as old,
      read own response. *)
   let slow_apply h kind k =
     let t = h.table in
+    Tm.emit Ev.Slowpath_entry;
+    let start_ns = Tm.now_ns () in
     let prio = Atomic.fetch_and_add t.counter 1 in
     let myop = F.make_op kind k ~prio in
     Atomic.set t.slots.(h.tid) myop;
     help_up_to t ~prio;
-    F.get_response myop
+    let resp = F.get_response myop in
+    Tm.record_span Ev.Slowpath_span ~start_ns;
+    resp
 
   (* Policy triggers, identical in shape to the lock-free table's. *)
   let after_insert h k ~resp = Core.after_insert h.table.core h.local ~key:k ~resp

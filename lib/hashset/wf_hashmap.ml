@@ -80,6 +80,8 @@ let register table =
     local = Policy.Trigger.make_local table.count ~seed:(0x3afe + tid);
   }
 
+let unregister h = Policy.Trigger.flush h.local
+
 (* --- pair-array primitives (shared with Hashmap's layout) --- *)
 
 let pairs_find pairs k =

@@ -20,6 +20,10 @@ type 'v handle
 val create : ?policy:Policy.t -> ?max_threads:int -> unit -> 'v t
 val register : 'v t -> 'v handle
 
+val unregister : 'v handle -> unit
+(** Flush pending approximate-count deltas; the handle must not be
+    used afterwards. *)
+
 val put : 'v handle -> int -> 'v -> 'v option
 (** Bind the key; returns the previous binding. *)
 

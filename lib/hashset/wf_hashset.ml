@@ -16,6 +16,7 @@ module Make (F : Nbhash_fset.Fset_intf.WF) : Hashset_intf.S = struct
     W.create_t policy max_threads
 
   let register = W.register
+  let unregister = W.unregister
 
   let insert h k =
     Hashset_intf.check_key k;

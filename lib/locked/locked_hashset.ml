@@ -29,6 +29,7 @@ let create ?(policy = Policy.default) ?max_threads () =
   }
 
 let register t = t
+let unregister _ = ()
 
 let locked t f =
   Mutex.lock t.lock;

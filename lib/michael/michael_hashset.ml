@@ -14,6 +14,7 @@ let create ?(policy = Policy.default) ?max_threads () =
   { buckets = Array.init size (fun _ -> Ordered_list.make_head ()); mask = size - 1 }
 
 let register t = t
+let unregister _ = ()
 
 (* Keys are stored directly (sorted by value) in per-bucket lists;
    the sentinel head of each list carries [min_int]. *)

@@ -49,6 +49,7 @@ let create ?(policy = Policy.default) ?max_threads () =
   }
 
 let register t = t
+let unregister _ = ()
 
 let segment_for t i =
   let si = i lsr segment_bits in

@@ -1,0 +1,75 @@
+(** The fixed event taxonomy of the telemetry substrate. One counter
+    per constructor; the names below are the stable identifiers used
+    by the pretty-printer, the JSON encoder, and the bench CSV/JSON
+    trajectories — treat them as a wire format.
+
+    Spans are the duration-valued complement: each names one log2
+    histogram of nanosecond timings. *)
+
+type t =
+  | Cas_retry  (** an operation re-ran its CAS loop (lost CAS or frozen node) *)
+  | Bucket_init  (** a lazy bucket migration installed a new head bucket *)
+  | Keys_migrated  (** keys copied into freshly initialized buckets *)
+  | Freeze  (** a bucket transitioned to the frozen (immutable) state *)
+  | Resize_grow  (** the head HNode was replaced by a double-sized one *)
+  | Resize_shrink  (** the head HNode was replaced by a half-sized one *)
+  | Help_op  (** an announced operation was driven by the helping scan *)
+  | Slowpath_entry  (** an operation entered the announce-and-help slow path *)
+  | Fastpath_entry  (** an adaptive operation entered the lock-free fast path *)
+  | Counter_flush  (** a per-handle approximate-count delta batch was flushed *)
+  | Contains_pred  (** CONTAINS fell back to a predecessor bucket *)
+
+let count = 11
+
+let index = function
+  | Cas_retry -> 0
+  | Bucket_init -> 1
+  | Keys_migrated -> 2
+  | Freeze -> 3
+  | Resize_grow -> 4
+  | Resize_shrink -> 5
+  | Help_op -> 6
+  | Slowpath_entry -> 7
+  | Fastpath_entry -> 8
+  | Counter_flush -> 9
+  | Contains_pred -> 10
+
+let to_string = function
+  | Cas_retry -> "cas_retry"
+  | Bucket_init -> "bucket_init"
+  | Keys_migrated -> "keys_migrated"
+  | Freeze -> "freeze"
+  | Resize_grow -> "resize_grow"
+  | Resize_shrink -> "resize_shrink"
+  | Help_op -> "help_op"
+  | Slowpath_entry -> "slowpath_entry"
+  | Fastpath_entry -> "fastpath_entry"
+  | Counter_flush -> "counter_flush"
+  | Contains_pred -> "contains_pred"
+
+let all =
+  [
+    Cas_retry;
+    Bucket_init;
+    Keys_migrated;
+    Freeze;
+    Resize_grow;
+    Resize_shrink;
+    Help_op;
+    Slowpath_entry;
+    Fastpath_entry;
+    Counter_flush;
+    Contains_pred;
+  ]
+
+(** Duration-valued events, each backed by a log2 histogram. *)
+type span = Resize_span | Slowpath_span
+
+let span_count = 2
+let span_index = function Resize_span -> 0 | Slowpath_span -> 1
+
+let span_to_string = function
+  | Resize_span -> "resize_ns"
+  | Slowpath_span -> "slowpath_ns"
+
+let all_spans = [ Resize_span; Slowpath_span ]

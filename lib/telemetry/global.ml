@@ -1,0 +1,36 @@
+(* The ambient probe. Instrumented call sites across the fset, table,
+   and policy layers read this one location; it defaults to
+   [Probe.noop], so an uninstrumented process pays one load and one
+   branch per event. [install] is expected at startup (bench flag
+   parsing, a test's with_recording) — it is an atomic set, so
+   flipping it mid-run is safe, merely attributing in-flight events to
+   whichever probe each domain reads next. *)
+
+let current = Atomic.make Probe.noop
+
+let install p = Atomic.set current p
+let get () = Atomic.get current
+let is_recording () = Probe.is_recording (Atomic.get current)
+
+let[@inline] emit ev = Probe.emit (Atomic.get current) ev
+let[@inline] add ev n = Probe.add (Atomic.get current) ev n
+let[@inline] now_ns () = Probe.now_ns (Atomic.get current)
+
+let[@inline] record_span s ~start_ns =
+  Probe.record_span (Atomic.get current) s ~start_ns
+
+let snapshot () = Probe.snapshot (Atomic.get current)
+let reset () = Probe.reset (Atomic.get current)
+
+(* Run [f] with a fresh recording probe installed, restoring the
+   previous probe afterwards; returns [f]'s result and the final
+   snapshot. *)
+let with_recording ?shards f =
+  let prev = Atomic.get current in
+  let p = Probe.recording ?shards () in
+  Atomic.set current p;
+  Fun.protect
+    ~finally:(fun () -> Atomic.set current prev)
+    (fun () ->
+      let result = f () in
+      (result, Probe.snapshot p))

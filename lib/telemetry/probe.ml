@@ -1,0 +1,66 @@
+(* The sink interface of the telemetry layer. Call sites hold a
+   [Probe.t] (in practice the ambient one from [Global]) and emit
+   unconditionally; with the default [Noop] every entry point below is
+   a single pattern match that falls through to [()] — no atomic
+   write, no clock read, no allocation — so instrumentation can stay
+   in the hot paths permanently. [Recording] routes counters into
+   domain-sharded lanes and spans into sharded log2 histograms. *)
+
+type recorder = {
+  counters : Counters.t;
+  spans : Histogram.t array;  (* indexed by Event.span_index *)
+}
+
+type t = Noop | Recording of recorder
+
+let noop = Noop
+
+let recording ?shards () =
+  Recording
+    {
+      counters = Counters.make ?shards ();
+      spans = Array.init Event.span_count (fun _ -> Histogram.make ?shards ());
+    }
+
+let is_recording = function Noop -> false | Recording _ -> true
+
+let[@inline] emit p ev =
+  match p with Noop -> () | Recording r -> Counters.incr r.counters ev
+
+let[@inline] add p ev n =
+  match p with Noop -> () | Recording r -> Counters.add r.counters ev n
+
+(* Monotonic-enough clock for duration spans; only read while
+   recording, so the Noop path never pays for it. *)
+let clock_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let[@inline] now_ns p = match p with Noop -> 0 | Recording _ -> clock_ns ()
+
+let[@inline] record_span p s ~start_ns =
+  match p with
+  | Noop -> ()
+  | Recording r ->
+    Histogram.observe r.spans.(Event.span_index s) (clock_ns () - start_ns)
+
+let snapshot = function
+  | Noop -> Snapshot.zero
+  | Recording r ->
+    {
+      Snapshot.counters =
+        List.map
+          (fun ev -> (Event.to_string ev, Counters.read r.counters ev))
+          Event.all;
+      spans =
+        List.filter_map
+          (fun s ->
+            Option.map
+              (fun summary -> (Event.span_to_string s, summary))
+              (Histogram.summary r.spans.(Event.span_index s)))
+          Event.all_spans;
+    }
+
+let reset = function
+  | Noop -> ()
+  | Recording r ->
+    Counters.reset r.counters;
+    Array.iter Histogram.reset r.spans

@@ -1,0 +1,70 @@
+(* A point-in-time read of a probe: one total per event, one duration
+   summary per span that observed anything. Pretty-printed for humans
+   and hand-encoded to JSON (sorted, stable key order) for the
+   machine-readable bench trajectory — no external JSON dependency. *)
+
+type t = {
+  counters : (string * int) list;  (* in Event.all order *)
+  spans : (string * Nbhash_util.Stats.summary) list;  (* non-empty spans *)
+}
+
+let zero =
+  {
+    counters = List.map (fun ev -> (Event.to_string ev, 0)) Event.all;
+    spans = [];
+  }
+
+let counter t name = Option.value ~default:0 (List.assoc_opt name t.counters)
+let get t ev = counter t (Event.to_string ev)
+let span t s = List.assoc_opt (Event.span_to_string s) t.spans
+let is_zero t = List.for_all (fun (_, n) -> n = 0) t.counters && t.spans = []
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, n) ->
+      if n > 0 then Format.fprintf ppf "%-16s %d@," name n)
+    t.counters;
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf ppf "%-16s %a@," name Nbhash_util.Stats.pp_summary s)
+    t.spans;
+  if is_zero t then Format.fprintf ppf "(no events recorded)@,";
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* --- JSON --- *)
+
+(* Finite floats only (histogram summaries always are); %.17g
+   round-trips doubles but usually prints short. *)
+let json_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let json_summary (s : Nbhash_util.Stats.summary) =
+  Printf.sprintf
+    "{\"n\":%d,\"mean\":%s,\"min\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"max\":%s}"
+    s.Nbhash_util.Stats.n
+    (json_float s.Nbhash_util.Stats.mean)
+    (json_float s.Nbhash_util.Stats.min)
+    (json_float s.Nbhash_util.Stats.median)
+    (json_float s.Nbhash_util.Stats.p95)
+    (json_float s.Nbhash_util.Stats.p99)
+    (json_float s.Nbhash_util.Stats.max)
+
+let to_json t =
+  let counters =
+    String.concat ","
+      (List.map
+         (fun (name, n) -> Printf.sprintf "\"%s\":%d" name n)
+         t.counters)
+  in
+  let spans =
+    String.concat ","
+      (List.map
+         (fun (name, s) -> Printf.sprintf "\"%s\":%s" name (json_summary s))
+         t.spans)
+  in
+  Printf.sprintf "{\"counters\":{%s},\"spans\":{%s}}" counters spans

@@ -5,6 +5,8 @@ type summary = {
   min : float;
   max : float;
   median : float;
+  p95 : float;
+  p99 : float;
 }
 
 let mean xs =
@@ -20,10 +22,10 @@ let stddev xs =
     sqrt (acc /. Float.of_int (n - 1))
   end
 
-let percentile xs p =
-  assert (Array.length xs > 0 && p >= 0. && p <= 100.);
-  let sorted = Array.copy xs in
-  Array.sort Float.compare sorted;
+(* Interpolated percentile over an already-sorted array; [summarize]
+   sorts once and reads every percentile from the same copy. *)
+let percentile_sorted sorted p =
+  assert (Array.length sorted > 0 && p >= 0. && p <= 100.);
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
   else begin
@@ -34,16 +36,27 @@ let percentile xs p =
     sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
   end
 
+let percentile xs p =
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  percentile_sorted sorted p
+
 let summarize xs =
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
   {
-    n = Array.length xs;
+    n;
     mean = mean xs;
     stddev = stddev xs;
-    min = Array.fold_left Float.min xs.(0) xs;
-    max = Array.fold_left Float.max xs.(0) xs;
-    median = percentile xs 50.;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    median = percentile_sorted sorted 50.;
+    p95 = percentile_sorted sorted 95.;
+    p99 = percentile_sorted sorted 99.;
   }
 
 let pp_summary ppf s =
-  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f max=%.3f" s.n
-    s.mean s.stddev s.min s.median s.max
+  Format.fprintf ppf
+    "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f p95=%.3f p99=%.3f max=%.3f" s.n
+    s.mean s.stddev s.min s.median s.p95 s.p99 s.max

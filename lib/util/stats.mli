@@ -1,5 +1,6 @@
 (** Summary statistics over float samples, used by the benchmark
-    harness to report per-trial throughput. *)
+    harness to report per-trial throughput and by the telemetry
+    histograms to export duration percentiles. *)
 
 type summary = {
   n : int;
@@ -8,14 +9,21 @@ type summary = {
   min : float;
   max : float;
   median : float;
+  p95 : float;
+  p99 : float;
 }
 
 val summarize : float array -> summary
-(** Requires a non-empty array. *)
+(** Requires a non-empty array. Sorts one private copy and reads the
+    median/p95/p99 from it. *)
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0, 100], by linear interpolation on
     the sorted samples. Requires a non-empty array. *)
+
+val percentile_sorted : float array -> float -> float
+(** Like {!percentile} but requires the input to be sorted already and
+    does not copy; for callers reading many percentiles at once. *)
 
 val mean : float array -> float
 val stddev : float array -> float

@@ -3,6 +3,7 @@ type ops = {
   rem : int -> bool;
   look : int -> bool;
   force_resize : grow:bool -> unit;
+  detach : unit -> unit;
 }
 
 type table = {
@@ -31,6 +32,7 @@ let of_module (module S : Nbhash.Hashset_intf.S) : maker =
           rem = S.remove h;
           look = S.contains h;
           force_resize = (fun ~grow -> S.force_resize h ~grow);
+          detach = (fun () -> S.unregister h);
         });
     bucket_count = (fun () -> S.bucket_count t);
     cardinal = (fun () -> S.cardinal t);
@@ -54,6 +56,7 @@ let adaptive_tuned ~fast_threshold : maker =
           rem = A.remove h;
           look = A.contains h;
           force_resize = (fun ~grow -> A.force_resize h ~grow);
+          detach = (fun () -> A.unregister h);
         });
     bucket_count = (fun () -> A.bucket_count t);
     cardinal = (fun () -> A.cardinal t);

@@ -10,6 +10,10 @@ type ops = {
   rem : int -> bool;
   look : int -> bool;
   force_resize : grow:bool -> unit;
+  detach : unit -> unit;
+      (** Release the handle ({!Nbhash.Hashset_intf.S.unregister}):
+          flushes pending approximate-count deltas. Call when the
+          thread is done with the bundle. *)
 }
 (** Per-thread operation bundle (wraps a registered handle). *)
 

@@ -28,6 +28,46 @@ let csv_cell cell =
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
   else cell
 
+(* One row per implementation, one column per event that fired in at
+   least one snapshot (the full taxonomy would mostly render zeros);
+   span columns show the p50 in nanoseconds. *)
+let telemetry_table rows =
+  let module Ev = Nbhash_telemetry.Event in
+  let module Snap = Nbhash_telemetry.Snapshot in
+  let live_events =
+    List.filter
+      (fun ev -> List.exists (fun (_, s) -> Snap.get s ev > 0) rows)
+      Ev.all
+  in
+  let live_spans =
+    List.filter
+      (fun sp -> List.exists (fun (_, s) -> Snap.span s sp <> None) rows)
+      Ev.all_spans
+  in
+  let header =
+    "impl"
+    :: List.map Ev.to_string live_events
+    @ List.map (fun sp -> Ev.span_to_string sp ^ "_p50") live_spans
+  in
+  let row (name, snap) =
+    name
+    :: List.map (fun ev -> string_of_int (Snap.get snap ev)) live_events
+    @ List.map
+        (fun sp ->
+          match Snap.span snap sp with
+          | None -> "-"
+          | Some s -> Printf.sprintf "%.0f" s.Nbhash_util.Stats.median)
+        live_spans
+  in
+  (header, List.map row rows)
+
+let print_telemetry rows =
+  if rows = [] then ()
+  else
+    let header, body = telemetry_table rows in
+    if body <> [] && List.length header > 1 then print_table ~header ~rows:body
+    else print_endline "(no telemetry events recorded)"
+
 let write_csv ~path ~header ~rows =
   let oc = open_out path in
   Fun.protect

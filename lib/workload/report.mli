@@ -13,3 +13,15 @@ val print_heading : string -> unit
 val write_csv : path:string -> header:string list -> rows:string list list -> unit
 (** Write the same table as comma-separated values (cells containing
     commas or quotes are quoted). *)
+
+val telemetry_table :
+  (string * Nbhash_telemetry.Snapshot.t) list ->
+  string list * string list list
+(** [(header, rows)] for a per-implementation event table: an [impl]
+    column, one column per event that fired in at least one snapshot,
+    and a [<span>_p50] column (nanoseconds) per recorded span. Feed to
+    {!print_table} or {!write_csv}. *)
+
+val print_telemetry : (string * Nbhash_telemetry.Snapshot.t) list -> unit
+(** Render {!telemetry_table} to stdout (a notice when no events were
+    recorded). *)

@@ -7,6 +7,7 @@ type result = {
   throughput : float;
   final_buckets : int;
   final_cardinal : int;
+  telemetry : Nbhash_telemetry.Snapshot.t option;
 }
 
 let prepopulate table spec ~seed =
@@ -15,7 +16,8 @@ let prepopulate table spec ~seed =
   for k = 0 to spec.Workload.key_range - 1 do
     if Nbhash_util.Xoshiro.float rng < spec.Workload.prepopulate then
       ignore (ops.Factory.ins k)
-  done
+  done;
+  ops.Factory.detach ()
 
 let now () = Unix.gettimeofday ()
 
@@ -39,8 +41,14 @@ let run table ~threads ~spec ~duration ?(seed = 42) () =
       | Workload.Remove, k -> ignore (ops.Factory.rem k));
       incr n
     done;
-    counts.(i) <- !n
+    counts.(i) <- !n;
+    ops.Factory.detach ()
   in
+  (* When a recording probe is installed, scope its counters to the
+     measurement window: prepopulation events are discarded here, and
+     the snapshot is read only after every worker has joined. *)
+  let recording = Nbhash_telemetry.Global.is_recording () in
+  if recording then Nbhash_telemetry.Global.reset ();
   let domains = List.init threads (fun i -> Domain.spawn (worker i)) in
   Barrier.wait barrier;
   let t0 = now () in
@@ -59,6 +67,8 @@ let run table ~threads ~spec ~duration ?(seed = 42) () =
     throughput = Float.of_int total_ops /. (measured *. 1e6);
     final_buckets = table.Factory.bucket_count ();
     final_cardinal = table.Factory.cardinal ();
+    telemetry =
+      (if recording then Some (Nbhash_telemetry.Global.snapshot ()) else None);
   }
 
 let run_trials make_table ~threads ~spec ~duration ~trials =

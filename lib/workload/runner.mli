@@ -16,6 +16,11 @@ type result = {
   throughput : float;  (** operations per microsecond, aggregate *)
   final_buckets : int;
   final_cardinal : int;
+  telemetry : Nbhash_telemetry.Snapshot.t option;
+      (** Events recorded during the measurement window (prepopulation
+          excluded), when a recording probe was installed via
+          {!Nbhash_telemetry.Global.install}; [None] under the default
+          no-op probe. *)
 }
 
 val prepopulate : Factory.table -> Workload.spec -> seed:int -> unit

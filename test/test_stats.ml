@@ -24,7 +24,25 @@ let test_summarize () =
   feq "mean" 2. s.Stats.mean;
   feq "min" 1. s.Stats.min;
   feq "max" 3. s.Stats.max;
-  feq "median" 2. s.Stats.median
+  feq "median" 2. s.Stats.median;
+  feq "p95" 2.9 s.Stats.p95;
+  feq "p99" 2.98 s.Stats.p99
+
+let test_summarize_percentiles () =
+  (* 0..100: the interpolated p-th percentile is exactly p. *)
+  let xs = Array.init 101 Float.of_int in
+  let s = Stats.summarize xs in
+  feq "median" 50. s.Stats.median;
+  feq "p95" 95. s.Stats.p95;
+  feq "p99" 99. s.Stats.p99;
+  feq "agrees with percentile (p95)" (Stats.percentile xs 95.) s.Stats.p95;
+  feq "agrees with percentile (p99)" (Stats.percentile xs 99.) s.Stats.p99
+
+let test_percentile_sorted () =
+  let xs = [| 4.; 1.; 3.; 2. |] in
+  let sorted = [| 1.; 2.; 3.; 4. |] in
+  feq "matches percentile" (Stats.percentile xs 42.)
+    (Stats.percentile_sorted sorted 42.)
 
 let prop_percentile_monotone =
   QCheck2.Test.make ~name:"percentile is monotone in p" ~count:300
@@ -51,6 +69,9 @@ let suite =
         Alcotest.test_case "stddev" `Quick test_stddev;
         Alcotest.test_case "percentile" `Quick test_percentile;
         Alcotest.test_case "summarize" `Quick test_summarize;
+        Alcotest.test_case "summarize percentiles" `Quick
+          test_summarize_percentiles;
+        Alcotest.test_case "percentile_sorted" `Quick test_percentile_sorted;
         QCheck_alcotest.to_alcotest prop_percentile_monotone;
         QCheck_alcotest.to_alcotest prop_mean_between_min_max;
       ] );
