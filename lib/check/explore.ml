@@ -1,0 +1,226 @@
+(* Schedule-exploring model checker for the nonblocking libraries.
+
+   A scenario is a handful of scripted "threads" — plain closures
+   running the production table code. With [Nb_atomic.tracing] on,
+   every atomic operation in the shimmed libraries yields the
+   [Nb_atomic.Step] effect; the scheduler below catches it, suspends
+   the thread, and decides who runs next. Execution is single-domain
+   and deterministic given the sequence of choices, so a schedule is
+   replayable: the exact interleaving that broke an invariant can be
+   printed, re-run, and stepped through.
+
+   Exploration is DPOR-lite in the CHESS tradition: a depth-first
+   enumeration of schedules bounded by the number of *preemptions*
+   (switching away from a thread that could have continued). Most
+   concurrency bugs in this codebase's algorithms — a missed frozen
+   re-check, a lost helping obligation — manifest within one or two
+   preemptions, so a small bound explores a tractable schedule space
+   while still covering every adversarial placement of those few
+   context switches. Non-preemptive switches (the running thread
+   finished) are free, so every scenario runs to completion. *)
+
+module A = Nbhash_util.Nb_atomic
+
+(* A scenario builds fresh state and returns its scripted threads plus
+   a verdict function run after every thread has finished. Setup and
+   verdict run untraced; only the threads' atomic operations are
+   scheduling points. Scenarios must be deterministic: no clocks, no
+   ambient randomness — the explorer replays them thousands of
+   times. *)
+type scenario = unit -> (unit -> unit) array * (unit -> (unit, string) result)
+
+type exec = {
+  choices : int list;  (* chosen thread at each decision point *)
+  enabled : int list list;  (* runnable threads at each decision point *)
+  steps : (int * string) list;  (* thread, operation it ran *)
+  result : (unit, string) result;
+}
+
+exception Diverged
+
+(* One deterministic execution: follow [forced] while it lasts, then
+   default to running the current thread until it finishes (zero added
+   preemptions), falling over to the lowest-numbered runnable
+   thread. *)
+let run_once (scenario : scenario) ~(forced : int list) : exec =
+  let threads, verify = scenario () in
+  let n = Array.length threads in
+  if n = 0 then invalid_arg "Explore.run_once: scenario with no threads";
+  let conts : (unit, unit) Effect.Deep.continuation option array =
+    Array.make n None
+  in
+  let pending : A.label option array = Array.make n None in
+  let started = Array.make n false in
+  let finished = Array.make n false in
+  let handler i : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> finished.(i) <- true);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | A.Step lbl ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                conts.(i) <- Some k;
+                pending.(i) <- Some lbl)
+          | _ -> None);
+    }
+  in
+  let run_segment i =
+    if not started.(i) then begin
+      started.(i) <- true;
+      Effect.Deep.match_with threads.(i) () (handler i)
+    end
+    else
+      match conts.(i) with
+      | Some k ->
+        conts.(i) <- None;
+        Effect.Deep.continue k ()
+      | None -> assert false
+  in
+  let decisions = ref [] and steps = ref [] in
+  let failure = ref None in
+  let forced = ref forced in
+  let last = ref (-1) in
+  A.tracing := true;
+  Fun.protect
+    ~finally:(fun () -> A.tracing := false)
+    (fun () ->
+      try
+        let continue_loop = ref true in
+        while !continue_loop do
+          let enabled =
+            List.filter (fun i -> not finished.(i)) (List.init n Fun.id)
+          in
+          if enabled = [] then continue_loop := false
+          else begin
+            let c =
+              match !forced with
+              | f :: rest ->
+                forced := rest;
+                if not (List.mem f enabled) then raise Diverged;
+                f
+              | [] ->
+                if !last >= 0 && List.mem !last enabled then !last
+                else List.hd enabled
+            in
+            decisions := (enabled, c) :: !decisions;
+            steps :=
+              ( c,
+                match pending.(c) with
+                | None -> "start"
+                | Some l -> A.label_to_string l )
+              :: !steps;
+            last := c;
+            run_segment c
+          end
+        done
+      with
+      | Diverged ->
+        failure :=
+          Some
+            "schedule diverged during replay: the scenario is not \
+             deterministic (clock, RNG, or enabled resize policy?)"
+      | e ->
+        failure :=
+          Some (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e)));
+  let result =
+    match !failure with Some msg -> Error msg | None -> verify ()
+  in
+  {
+    choices = List.rev_map snd !decisions;
+    enabled = List.rev_map fst !decisions;
+    steps = List.rev !steps;
+    result;
+  }
+
+type violation = {
+  schedule : int list;
+  trace : (int * string) list;
+  message : string;
+  executions : int;
+}
+
+type outcome =
+  | Pass of { executions : int; complete : bool }
+      (** [complete] is false when the execution budget truncated the
+          search: passing then means "no violation found", not "none
+          exists within the preemption bound". *)
+  | Fail of violation
+
+(* Preemptions in choices.(0..d-1) followed by [alt] at decision [d]:
+   switches away from a thread that was still runnable. *)
+let preemptions choices enabled d alt =
+  let count = ref 0 in
+  for t = 1 to d do
+    let prev = choices.(t - 1) in
+    let cur = if t = d then alt else choices.(t) in
+    if cur <> prev && List.mem prev enabled.(t) then incr count
+  done;
+  !count
+
+exception Found of violation
+
+(* Systematic DFS over schedules: run the current forced prefix (with
+   the preemption-free default beyond it), then branch on every
+   alternative choice at every decision point at or after the prefix
+   end that stays within the preemption bound. Deviation points only
+   move forward, so each schedule is visited exactly once. *)
+let explore ?(max_preemptions = 2) ?(max_execs = 20_000) scenario =
+  let execs = ref 0 and truncated = ref false in
+  try
+    let rec dfs forced nforced =
+      if !execs >= max_execs then truncated := true
+      else begin
+        incr execs;
+        let e = run_once scenario ~forced in
+        (match e.result with
+        | Error message ->
+          raise
+            (Found
+               {
+                 schedule = e.choices;
+                 trace = e.steps;
+                 message;
+                 executions = !execs;
+               })
+        | Ok () -> ());
+        let choices = Array.of_list e.choices in
+        let enabled = Array.of_list e.enabled in
+        for d = nforced to Array.length choices - 1 do
+          List.iter
+            (fun a ->
+              if
+                a <> choices.(d)
+                && preemptions choices enabled d a <= max_preemptions
+              then
+                dfs
+                  (Array.to_list (Array.sub choices 0 d) @ [ a ])
+                  (d + 1))
+            enabled.(d)
+        done
+      end
+    in
+    dfs [] 0;
+    Pass { executions = !execs; complete = not !truncated }
+  with Found v -> Fail v
+
+(* Re-run one exact schedule; the trace and verdict come back for
+   inspection. The schedule may be a prefix — the default policy
+   finishes the run. *)
+let replay scenario schedule = run_once scenario ~forced:schedule
+
+let pp_schedule ppf schedule =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (List.map string_of_int schedule))
+
+let pp_violation ppf v =
+  Format.fprintf ppf "violation after %d executions: %s@." v.executions
+    v.message;
+  Format.fprintf ppf "schedule (thread per step): %a@." pp_schedule v.schedule;
+  Format.fprintf ppf "replay with: Explore.replay scenario %a@." pp_schedule
+    v.schedule;
+  List.iteri
+    (fun i (t, op) -> Format.fprintf ppf "  step %2d: T%d %s@." i t op)
+    v.trace

@@ -2,6 +2,8 @@
    pending state, so helpers can never record conflicting outcomes;
    [Killed] records which remove consumed a data node, letting that
    remove's helpers recognize their own success. *)
+module Atomic = Nbhash_util.Nb_atomic
+
 type state =
   | Pending_ins
   | Pending_rem

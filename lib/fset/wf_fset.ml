@@ -1,3 +1,5 @@
+module Atomic = Nbhash_util.Nb_atomic
+
 module Make (E : Elems.S) : Fset_intf.WF = struct
   module Tm = Nbhash_telemetry.Global
   module Ev = Nbhash_telemetry.Event

@@ -1,3 +1,5 @@
+module Atomic = Nbhash_util.Nb_atomic
+
 module Make (F : Nbhash_fset.Fset_intf.WF) = struct
   module W = Wf_common.Make (F)
   module Tm = Nbhash_telemetry.Global

@@ -1,3 +1,5 @@
+module Atomic = Nbhash_util.Nb_atomic
+
 module Intset = Nbhash_fset.Intset
 module Tm = Nbhash_telemetry.Global
 module Ev = Nbhash_telemetry.Event

@@ -1,5 +1,7 @@
 (* Pair-array helpers; arrays are immutable and duplicate-key free. *)
 
+module Atomic = Nbhash_util.Nb_atomic
+
 let pairs_find pairs k =
   let n = Array.length pairs in
   let rec go i =

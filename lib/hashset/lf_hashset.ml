@@ -1,3 +1,5 @@
+module Atomic = Nbhash_util.Nb_atomic
+
 module Make (F : Nbhash_fset.Fset_intf.S) : Hashset_intf.S = struct
   module Core = Table_core.Make (F)
   module Tm = Nbhash_telemetry.Global

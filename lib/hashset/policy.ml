@@ -14,6 +14,8 @@
     resize moves the load strictly inside the band. The A1 benchmark
     quantifies the difference. *)
 
+module Atomic = Nbhash_util.Nb_atomic
+
 type heuristic =
   | Bucket_size of {
       grow_threshold : int;

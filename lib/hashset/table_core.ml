@@ -13,6 +13,8 @@
     logical truth (the refinement mapping of Figure 3) until the new
     bucket is installed by CAS, an abstract-state-preserving step. *)
 
+module Atomic = Nbhash_util.Nb_atomic
+
 module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
   module Tm = Nbhash_telemetry.Global
   module Ev = Nbhash_telemetry.Event

@@ -9,6 +9,8 @@
     infinity when it has been applied, which bounds every helping loop
     (section 5.2: O(T^2) FSet operations per APPLY). *)
 
+module Atomic = Nbhash_util.Nb_atomic
+
 module Make (F : Nbhash_fset.Fset_intf.WF) = struct
   module Core = Table_core.Make (F)
   module Tm = Nbhash_telemetry.Global

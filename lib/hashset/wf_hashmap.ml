@@ -1,3 +1,5 @@
+module Atomic = Nbhash_util.Nb_atomic
+
 let infinity_prio = max_int
 
 type 'v action = Put of 'v | Del | Upd of ('v option -> 'v)

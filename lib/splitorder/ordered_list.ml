@@ -1,3 +1,5 @@
+module Atomic = Nbhash_util.Nb_atomic
+
 type node = { key : int; next : link Atomic.t }
 
 (* The link of a node both points at the successor and carries the

@@ -1,3 +1,5 @@
+module Atomic = Nbhash_util.Nb_atomic
+
 module Bits = Nbhash_util.Bits
 module Policy = Nbhash.Policy
 module Hashset_intf = Nbhash.Hashset_intf

@@ -7,6 +7,8 @@
    happen to collide on a shard lose locality, never updates. Totals
    are computed only at snapshot time. *)
 
+module Atomic = Nbhash_util.Nb_atomic
+
 type t = { slots : int Atomic.t array; shard_mask : int }
 
 (* Lane width in words: the smallest multiple of 8 (a 64-byte cache

@@ -6,6 +6,8 @@
    flipping it mid-run is safe, merely attributing in-flight events to
    whichever probe each domain reads next. *)
 
+module Atomic = Nbhash_util.Nb_atomic
+
 let current = Atomic.make Probe.noop
 
 let install p = Atomic.set current p

@@ -6,6 +6,8 @@
    merged counts using each bucket's geometric midpoint as its
    representative value. *)
 
+module Atomic = Nbhash_util.Nb_atomic
+
 let buckets = 64
 
 type t = { slots : int Atomic.t array; shard_mask : int }

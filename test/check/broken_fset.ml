@@ -1,0 +1,77 @@
+(* A deliberately broken lock-free FSet: structurally the paper's
+   Figure 5 object (same node layout, same CAS publication as
+   [Lf_fset]), except that the retry path after a lost CAS does NOT
+   re-check the freeze bit. A freeze that lands between an update's
+   read and its CAS therefore fails the CAS (the node was replaced),
+   and the buggy retry then happily CASes its change onto the frozen
+   node — an update applied after the set's final snapshot was taken.
+
+   The model-check suite demands that the explorer finds this: the
+   freeze-vs-insert scenario over this module must produce a
+   counterexample schedule, while the shipped implementations pass the
+   same exploration. Atomics go through the shim so the checker can
+   schedule them. *)
+
+module Atomic = Nbhash_util.Nb_atomic
+module Fset_intf = Nbhash_fset.Fset_intf
+module E = Nbhash_fset.Elems.Array_rep
+
+type node = { elems : E.t; ok : bool }
+type t = node Atomic.t
+type op = { kind : Fset_intf.kind; key : int; mutable resp : bool }
+
+let id = "broken-array"
+let create elems = Atomic.make { elems = E.of_array elems; ok = true }
+let make_op kind key = { kind; key; resp = false }
+
+let invoke t op =
+  let o0 = Atomic.get t in
+  if not o0.ok then false
+  else begin
+    (* BUG: o.ok is checked once, before the first attempt; the retry
+       loop re-reads the node but never re-checks it. [Lf_fset.invoke]
+       re-enters through the top and re-checks every time. *)
+    let rec retry o =
+      let present = E.mem o.elems op.key in
+      match op.kind with
+      | Fset_intf.Ins when present ->
+        op.resp <- false;
+        true
+      | Fset_intf.Rem when not present ->
+        op.resp <- false;
+        true
+      | Fset_intf.Ins ->
+        if
+          Atomic.compare_and_set t o
+            { elems = E.add o.elems op.key; ok = o.ok }
+        then begin
+          op.resp <- true;
+          true
+        end
+        else retry (Atomic.get t)
+      | Fset_intf.Rem ->
+        if
+          Atomic.compare_and_set t o
+            { elems = E.remove o.elems op.key; ok = o.ok }
+        then begin
+          op.resp <- true;
+          true
+        end
+        else retry (Atomic.get t)
+    in
+    retry o0
+  end
+
+let get_response op = op.resp
+
+let rec freeze t =
+  let o = Atomic.get t in
+  if not o.ok then E.to_array o.elems
+  else if Atomic.compare_and_set t o { elems = o.elems; ok = false } then
+    E.to_array o.elems
+  else freeze t
+
+let has_member t k = E.mem (Atomic.get t).elems k
+let size t = E.length (Atomic.get t).elems
+let elements t = E.to_array (Atomic.get t).elems
+let is_frozen t = not (Atomic.get t).ok

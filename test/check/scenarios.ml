@@ -1,0 +1,232 @@
+(* Scenario library for the schedule explorer: small scripted races
+   over the production FSet and hash-table code, each paired with a
+   verdict checked after every explored interleaving. Histories are
+   recorded through {!Record} (untraced — the recorder's own atomics
+   are not scheduling points) and judged by the {!Lin} models.
+
+   Determinism rules (see [Explore]): tables are created with
+   [Policy.presized] so the resize policy never draws the PRNG, and
+   the ambient telemetry probe stays [Noop], so the only scheduling
+   points are the algorithms' own shimmed atomic operations. *)
+
+module Explore = Nbhash_check.Explore
+module Lin = Nbhash_testlib.Lin
+module Record = Nbhash_testlib.Record
+module Fset_intf = Nbhash_fset.Fset_intf
+module Policy = Nbhash.Policy
+
+let fset_verdict r () =
+  let evs = Record.events r in
+  if Lin.Fset.check evs then Ok ()
+  else
+    Error
+      (Format.asprintf "FSet history is not linearizable:@.%a"
+         Lin.Fset.pp_history evs)
+
+(* The freeze-vs-update race of the paper's Figure 5 object: one
+   thread freezes (recording the snapshot) while two others try to
+   insert and remove. The model demands that any update linearized
+   after the freeze is Refused and that the snapshot is exactly the
+   set at the freeze point — the race the [ok] re-check in
+   [Lf_fset.invoke] exists to win. *)
+module Freeze_vs_update (F : Fset_intf.S) = struct
+  let record_invoke r t kind key =
+    let op_m =
+      match kind with
+      | Fset_intf.Ins -> Lin.Fset_model.Ins key
+      | Fset_intf.Rem -> Lin.Fset_model.Rem key
+    in
+    ignore
+      (Record.record r op_m (fun () ->
+           let op = F.make_op kind key in
+           if F.invoke t op then Lin.Fset_model.Applied (F.get_response op)
+           else Lin.Fset_model.Refused))
+
+  let scenario () =
+    let t = F.create [||] in
+    let r = Record.make () in
+    (* Seed key 1 before the race so the snapshot is non-trivial; setup
+       runs untraced but is recorded, so the model sees it first. *)
+    record_invoke r t Fset_intf.Ins 1;
+    let threads =
+      [|
+        (fun () ->
+          ignore
+            (Record.record r Lin.Fset_model.Freeze (fun () ->
+                 let snap = F.freeze t in
+                 Lin.Fset_model.Snapshot
+                   (List.sort compare (Array.to_list snap)))));
+        (fun () -> record_invoke r t Fset_intf.Ins 2);
+        (fun () -> record_invoke r t Fset_intf.Rem 1);
+      |]
+    in
+    (threads, fset_verdict r)
+end
+
+(* Same race over the wait-free FSet; priorities stand in for thread
+   ids. *)
+module Wf_freeze_vs_update (F : Fset_intf.WF) = struct
+  let record_invoke r t kind key ~prio =
+    let op_m =
+      match kind with
+      | Fset_intf.Ins -> Lin.Fset_model.Ins key
+      | Fset_intf.Rem -> Lin.Fset_model.Rem key
+    in
+    ignore
+      (Record.record r op_m (fun () ->
+           let op = F.make_op kind key ~prio in
+           if F.invoke t op then Lin.Fset_model.Applied (F.get_response op)
+           else Lin.Fset_model.Refused))
+
+  let freeze_vs_update () =
+    let t = F.create [||] in
+    let r = Record.make () in
+    record_invoke r t Fset_intf.Ins 1 ~prio:7;
+    let threads =
+      [|
+        (fun () ->
+          ignore
+            (Record.record r Lin.Fset_model.Freeze (fun () ->
+                 let snap = F.freeze t in
+                 Lin.Fset_model.Snapshot
+                   (List.sort compare (Array.to_list snap)))));
+        (fun () -> record_invoke r t Fset_intf.Ins 2 ~prio:1);
+        (fun () -> record_invoke r t Fset_intf.Rem 1 ~prio:2);
+      |]
+    in
+    (threads, fset_verdict r)
+
+  (* Two threads invoke the SAME announced operation (the helping path
+     of paper section 7). At-most-once application: whatever the
+     interleaving, the op ends done with response true and the set
+     holds exactly its key. *)
+  let shared_op_help () =
+    let t = F.create [||] in
+    let op = F.make_op Fset_intf.Ins 5 ~prio:1 in
+    let threads =
+      [| (fun () -> ignore (F.invoke t op)); (fun () -> ignore (F.invoke t op)) |]
+    in
+    let verify () =
+      if not (F.op_is_done op) then Error "helped op is not done"
+      else if not (F.get_response op) then
+        Error "insert into empty set responded false"
+      else
+        match List.sort compare (Array.to_list (F.elements t)) with
+        | [ 5 ] -> Ok ()
+        | l ->
+          Error
+            (Printf.sprintf "expected {5}, set holds {%s} — op applied %s"
+               (String.concat "," (List.map string_of_int l))
+               (if List.length l > 1 then "twice?" else "zero times?"))
+    in
+    (threads, verify)
+
+  (* Two distinct ops with competing priorities, over a seeded key:
+     both must apply exactly once, in some linearizable order. *)
+  let announce_race () =
+    let t = F.create [||] in
+    let r = Record.make () in
+    record_invoke r t Fset_intf.Ins 1 ~prio:7;
+    let threads =
+      [|
+        (fun () -> record_invoke r t Fset_intf.Ins 2 ~prio:1);
+        (fun () -> record_invoke r t Fset_intf.Rem 1 ~prio:2);
+      |]
+    in
+    (threads, fset_verdict r)
+end
+
+(* Hash-table races: an update or lookup racing a forced resize. The
+   verdict replays the recorded history against the set model, probes
+   final membership, and runs the structural invariant checker. *)
+module Table_races (H : Nbhash.Hashset_intf.S) = struct
+  let verdict t h r () =
+    ignore
+      (Record.record r (Lin.Set_model.Mem 1) (fun () -> H.contains h 1));
+    ignore
+      (Record.record r (Lin.Set_model.Mem 2) (fun () -> H.contains h 2));
+    match H.check_invariants t with
+    | exception Failure msg -> Error ("invariant violation: " ^ msg)
+    | () ->
+      let evs = Record.events r in
+      if Lin.Set.check evs then Ok ()
+      else
+        Error
+          (Format.asprintf "table history is not linearizable:@.%a"
+             Lin.Set.pp_history evs)
+
+  let setup buckets =
+    let t = H.create ~policy:(Policy.presized buckets) ~max_threads:4 () in
+    let h1 = H.register t and h2 = H.register t in
+    let r = Record.make () in
+    (t, h1, h2, r)
+
+  let record_insert r h k =
+    ignore (Record.record r (Lin.Set_model.Ins k) (fun () -> H.insert h k))
+
+  let grow_during_insert () =
+    let t, h1, h2, r = setup 1 in
+    record_insert r h1 1;
+    let threads =
+      [|
+        (fun () -> record_insert r h1 2);
+        (fun () -> H.force_resize h2 ~grow:true);
+      |]
+    in
+    (threads, verdict t h1 r)
+
+  let shrink_during_contains () =
+    let t, h1, h2, r = setup 2 in
+    record_insert r h1 1;
+    record_insert r h1 2;
+    let threads =
+      [|
+        (fun () ->
+          ignore
+            (Record.record r (Lin.Set_model.Mem 1) (fun () ->
+                 H.contains h1 1)));
+        (fun () -> H.force_resize h2 ~grow:false);
+      |]
+    in
+    (threads, verdict t h1 r)
+
+  let grow_vs_grow () =
+    let t, h1, h2, r = setup 1 in
+    record_insert r h1 1;
+    let threads =
+      [|
+        (fun () -> H.force_resize h1 ~grow:true);
+        (fun () -> H.force_resize h2 ~grow:true);
+      |]
+    in
+    (threads, verdict t h1 r)
+end
+
+module Lf_array = Freeze_vs_update (Nbhash_fset.Lf_array_fset)
+module Lf_list = Freeze_vs_update (Nbhash_fset.Lf_list_fset)
+module Ulist = Freeze_vs_update (Nbhash_fset.Ulist_fset)
+module Wf_array = Wf_freeze_vs_update (Nbhash_fset.Wf_array_fset)
+module LFArray = Table_races (Nbhash.Tables.LFArray)
+module WFArray = Table_races (Nbhash.Tables.WFArray)
+module Broken = Freeze_vs_update (Broken_fset)
+
+(* Every shipped implementation must pass bounded exploration of
+   these. *)
+let all : (string * Explore.scenario) list =
+  [
+    ("lf-array freeze vs update", Lf_array.scenario);
+    ("lf-list freeze vs update", Lf_list.scenario);
+    ("ulist freeze vs update", Ulist.scenario);
+    ("wf-array freeze vs update", Wf_array.freeze_vs_update);
+    ("wf-array shared-op helping", Wf_array.shared_op_help);
+    ("wf-array announce race", Wf_array.announce_race);
+    ("lfarray grow during insert", LFArray.grow_during_insert);
+    ("lfarray shrink during contains", LFArray.shrink_during_contains);
+    ("lfarray grow vs grow", LFArray.grow_vs_grow);
+    ("wfarray grow during insert", WFArray.grow_during_insert);
+  ]
+
+(* ... and the deliberately broken FSet (no [ok] re-check on the retry
+   path) must fail it, with a printed counterexample schedule. *)
+let broken : string * Explore.scenario =
+  ("broken-fset freeze vs update (expected violation)", Broken.scenario)

@@ -1,0 +1,265 @@
+(* A bounded linearizability checker (Wing & Gong style backtracking),
+   generalized over the sequential model.
+
+   Worker domains timestamp each operation with tickets drawn from one
+   atomic counter before invocation and after response (see
+   {!Record}), giving a real-time partial order. [check] then searches
+   for a legal sequential ordering of the whole history: an event may
+   linearize next only if no unlinearized event finished before it
+   started (real-time respect) and its recorded result matches the
+   model. The search memoizes dead (linearized-mask, model-state)
+   pairs, so model states must be plain structural data.
+
+   Three models are provided: {!Set} (the original int-set history
+   checker, states packed into a 61-key bitmask), {!Map} (Put/Get/Del
+   with value results, for [Hashmap]/[Wf_hashmap] histories), and
+   {!Fset} (freezable sets: insert/remove that can be refused by a
+   freeze, and freeze events carrying their snapshot — the model the
+   schedule explorer checks the paper's Figure 5/6 objects
+   against). *)
+
+type ('op, 'res) event = { op : 'op; result : 'res; start_t : int; end_t : int }
+
+module type MODEL = sig
+  type state
+  type op
+  type res
+
+  val init : state
+
+  val step : state -> op -> res -> state option
+  (** [step s op res] is the state after [op] observed [res] in state
+      [s], or [None] if [res] is impossible there. *)
+
+  val validate : op -> unit
+  (** Raise [Invalid_argument] (with a clear message) for operations
+      the model cannot represent, e.g. keys beyond the bitmask. *)
+
+  val pp_op : Format.formatter -> op -> unit
+  val pp_res : Format.formatter -> res -> unit
+end
+
+module Make (M : MODEL) = struct
+  type nonrec event = (M.op, M.res) event
+
+  (* Events are linearized under an int bitmask, one bit per event:
+     more than 62 events would silently wrap, so refuse loudly. *)
+  let max_events = 62
+
+  let check evs =
+    let evs = Array.of_list evs in
+    let n = Array.length evs in
+    if n > max_events then
+      invalid_arg
+        (Printf.sprintf
+           "Lin.check: history of %d events exceeds the %d-event bitmask \
+            limit — split the history or shrink the run"
+           n max_events);
+    Array.iter (fun e -> M.validate e.op) evs;
+    let full = (1 lsl n) - 1 in
+    let dead = Hashtbl.create 1024 in
+    let rec go mask state =
+      mask = full
+      || (not (Hashtbl.mem dead (mask, state)))
+         &&
+         let progress = ref false in
+         (let i = ref 0 in
+          while (not !progress) && !i < n do
+            let e = evs.(!i) in
+            let pending = mask land (1 lsl !i) = 0 in
+            if pending then begin
+              (* minimal: no other pending event returned before e
+                 began *)
+              let minimal = ref true in
+              for j = 0 to n - 1 do
+                if
+                  mask land (1 lsl j) = 0
+                  && j <> !i
+                  && evs.(j).end_t < e.start_t
+                then minimal := false
+              done;
+              if !minimal then
+                match M.step state e.op e.result with
+                | Some state' ->
+                  if go (mask lor (1 lsl !i)) state' then progress := true
+                | None -> ()
+            end;
+            incr i
+          done);
+         if not !progress then Hashtbl.replace dead (mask, state) ();
+         !progress
+    in
+    go 0 M.init
+
+  let pp_event ppf e =
+    Format.fprintf ppf "[%d,%d] %a -> %a" e.start_t e.end_t M.pp_op e.op
+      M.pp_res e.result
+
+  let pp_history ppf evs =
+    List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) evs
+end
+
+(* Keys of bitmask-state models live in an OCaml int: bit 61+ would
+   collide with the sign/Hashtbl behavior, so 61 distinct keys is the
+   ceiling. *)
+let max_key = 61
+
+let validate_key ctx k =
+  if k < 0 || k >= max_key then
+    invalid_arg
+      (Printf.sprintf
+         "%s: key %d outside [0, %d) — bitmask-state histories support at \
+          most %d distinct keys; renumber the key space"
+         ctx k max_key max_key)
+
+(* --- the original integer-set model --- *)
+
+module Set_model = struct
+  type state = int
+  type op = Ins of int | Rem of int | Mem of int
+  type res = bool
+
+  let init = 0
+  let key_of = function Ins k | Rem k | Mem k -> k
+  let validate op = validate_key "Lin.Set" (key_of op)
+
+  let step state op result =
+    let bit = 1 lsl key_of op in
+    let present = state land bit <> 0 in
+    match op with
+    | Ins _ -> if result = not present then Some (state lor bit) else None
+    | Rem _ -> if result = present then Some (state land lnot bit) else None
+    | Mem _ -> if result = present then Some state else None
+
+  let pp_op ppf op =
+    let name, k =
+      match op with
+      | Ins k -> ("ins", k)
+      | Rem k -> ("rem", k)
+      | Mem k -> ("mem", k)
+    in
+    Format.fprintf ppf "%s %d" name k
+
+  let pp_res = Format.pp_print_bool
+end
+
+module Set = struct
+  include Set_model
+  include Make (Set_model)
+end
+
+(* --- the map model: Put/Get/Del with value results --- *)
+
+module Map_model = struct
+  (* Bindings as a key-sorted association list: structural equality
+     (hence the memo table) sees equal states as equal. *)
+  type state = (int * int) list
+  type op = Put of int * int | Get of int | Del of int
+  type res = int option
+
+  let init = []
+  let validate _ = ()
+  let find k s = List.assoc_opt k s
+
+  let put k v s =
+    let rec go = function
+      | [] -> [ (k, v) ]
+      | ((k', _) as hd) :: tl ->
+        if k' < k then hd :: go tl
+        else if k' = k then (k, v) :: tl
+        else (k, v) :: hd :: tl
+    in
+    go s
+
+  let del k s = List.filter (fun (k', _) -> k' <> k) s
+
+  let step state op result =
+    match op with
+    | Put (k, v) ->
+      if result = find k state then Some (put k v state) else None
+    | Get k -> if result = find k state then Some state else None
+    | Del k -> if result = find k state then Some (del k state) else None
+
+  let pp_op ppf = function
+    | Put (k, v) -> Format.fprintf ppf "put %d=%d" k v
+    | Get k -> Format.fprintf ppf "get %d" k
+    | Del k -> Format.fprintf ppf "del %d" k
+
+  let pp_res ppf = function
+    | None -> Format.pp_print_string ppf "none"
+    | Some v -> Format.fprintf ppf "some %d" v
+end
+
+module Map = struct
+  include Map_model
+  include Make (Map_model)
+end
+
+(* --- the freezable-set model (paper Figure 1) --- *)
+
+module Fset_model = struct
+  type state = { mask : int; frozen : bool }
+
+  type op = Ins of int | Rem of int | Mem of int | Freeze
+
+  type res =
+    | Applied of bool  (* invoke returned true; payload is the response *)
+    | Refused  (* invoke returned false: the set was frozen *)
+    | Found of bool  (* has_member *)
+    | Snapshot of int list  (* freeze's final contents, sorted *)
+
+  let init = { mask = 0; frozen = false }
+
+  let validate = function
+    | Ins k | Rem k | Mem k -> validate_key "Lin.Fset" k
+    | Freeze -> ()
+
+  let mask_of_list l = List.fold_left (fun m k -> m lor (1 lsl k)) 0 l
+
+  let step state op result =
+    match (op, result) with
+    | (Ins _ | Rem _), Refused -> if state.frozen then Some state else None
+    | Ins k, Applied resp ->
+      if state.frozen then None
+      else
+        let bit = 1 lsl k in
+        let present = state.mask land bit <> 0 in
+        if resp = not present then Some { state with mask = state.mask lor bit }
+        else None
+    | Rem k, Applied resp ->
+      if state.frozen then None
+      else
+        let bit = 1 lsl k in
+        let present = state.mask land bit <> 0 in
+        if resp = present then
+          Some { state with mask = state.mask land lnot bit }
+        else None
+    | Mem k, Found b ->
+      if b = (state.mask land (1 lsl k) <> 0) then Some state else None
+    | Freeze, Snapshot l ->
+      (* Freeze is idempotent: every freeze observes the final
+         contents, the first one transitions the state. *)
+      List.iter (validate_key "Lin.Fset") l;
+      if mask_of_list l = state.mask then Some { state with frozen = true }
+      else None
+    | (Ins _ | Rem _ | Mem _ | Freeze), _ -> None
+
+  let pp_op ppf = function
+    | Ins k -> Format.fprintf ppf "ins %d" k
+    | Rem k -> Format.fprintf ppf "rem %d" k
+    | Mem k -> Format.fprintf ppf "mem %d" k
+    | Freeze -> Format.pp_print_string ppf "freeze"
+
+  let pp_res ppf = function
+    | Applied b -> Format.fprintf ppf "applied %b" b
+    | Refused -> Format.pp_print_string ppf "refused"
+    | Found b -> Format.fprintf ppf "found %b" b
+    | Snapshot l ->
+      Format.fprintf ppf "snapshot {%s}"
+        (String.concat "," (List.map string_of_int l))
+end
+
+module Fset = struct
+  include Fset_model
+  include Make (Fset_model)
+end

@@ -1,0 +1,30 @@
+(* The shared history recorder: one atomic ticket counter timestamps
+   every operation before invocation and after response, and a
+   lock-free list accumulates the events. This used to be copy-pasted
+   per test file; both the linearizability suite and the concurrent
+   hash-set stress now share this module (and the model checker's
+   scenarios reuse it single-domain, where the tickets simply number
+   the serialized steps). *)
+
+type ('op, 'res) t = {
+  ticket : int Atomic.t;
+  events : ('op, 'res) Lin.event list Atomic.t;
+}
+
+let make () = { ticket = Atomic.make 0; events = Atomic.make [] }
+
+(* Run [f] and record its timed outcome; returns [f]'s result so call
+   sites can keep their control flow. Thread-safe. *)
+let record r op f =
+  let start_t = Atomic.fetch_and_add r.ticket 1 in
+  let result = f () in
+  let end_t = Atomic.fetch_and_add r.ticket 1 in
+  let e = { Lin.op; result; start_t; end_t } in
+  let rec push () =
+    let old = Atomic.get r.events in
+    if not (Atomic.compare_and_set r.events old (e :: old)) then push ()
+  in
+  push ();
+  result
+
+let events r = Atomic.get r.events

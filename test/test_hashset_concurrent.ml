@@ -1,9 +1,16 @@
 (* Multi-domain ledger stress for every hash table, under an
    aggressive resize policy and an explicit resize storm. Catching a
    lost or duplicated key during bucket migration is exactly what
-   these are for. *)
+   these are for.
+
+   Successful operations are recorded through the shared
+   [Nbhash_testlib.Record] ticket recorder (the same one the
+   linearizability suite uses) instead of per-test bookkeeping; the
+   ledger is then computed from the recorded events. *)
 
 module Factory = Nbhash_workload.Factory
+module Lin = Nbhash_testlib.Lin
+module Record = Nbhash_testlib.Record
 
 let domains = 4
 let key_range = 64
@@ -11,17 +18,20 @@ let ops_per_domain = 3_000
 
 let ledger_stress (maker : Factory.maker) ~policy ~storm () =
   let table = maker ~policy () in
-  let ins_succ = Array.init domains (fun _ -> Array.make key_range 0) in
-  let rem_succ = Array.init domains (fun _ -> Array.make key_range 0) in
+  let r = Record.make () in
   let worker d () =
     let ops = table.Factory.new_handle () in
     let rng = Nbhash_util.Xoshiro.create (500 + d) in
     for _ = 1 to ops_per_domain do
       let k = Nbhash_util.Xoshiro.below rng key_range in
-      match Nbhash_util.Xoshiro.below rng 3 with
-      | 0 -> if ops.Factory.ins k then ins_succ.(d).(k) <- ins_succ.(d).(k) + 1
-      | 1 -> if ops.Factory.rem k then rem_succ.(d).(k) <- rem_succ.(d).(k) + 1
-      | _ -> ignore (ops.Factory.look k)
+      ignore
+        (match Nbhash_util.Xoshiro.below rng 3 with
+        | 0 ->
+          Record.record r (Lin.Set_model.Ins k) (fun () -> ops.Factory.ins k)
+        | 1 ->
+          Record.record r (Lin.Set_model.Rem k) (fun () -> ops.Factory.rem k)
+        | _ ->
+          Record.record r (Lin.Set_model.Mem k) (fun () -> ops.Factory.look k))
     done
   in
   let stormer () =
@@ -39,16 +49,21 @@ let ledger_stress (maker : Factory.maker) ~policy ~storm () =
   table.Factory.check_invariants ();
   let final = table.Factory.elements () in
   let mem k = Array.exists (fun x -> x = k) final in
+  let net = Array.make key_range 0 in
+  List.iter
+    (fun e ->
+      match e.Lin.op with
+      | Lin.Set_model.Ins k -> if e.Lin.result then net.(k) <- net.(k) + 1
+      | Lin.Set_model.Rem k -> if e.Lin.result then net.(k) <- net.(k) - 1
+      | Lin.Set_model.Mem _ -> ())
+    (Record.events r);
   for k = 0 to key_range - 1 do
-    let net = ref 0 in
-    for d = 0 to domains - 1 do
-      net := !net + ins_succ.(d).(k) - rem_succ.(d).(k)
-    done;
-    Alcotest.(check bool) "net is 0 or 1" true (!net = 0 || !net = 1);
+    Alcotest.(check bool) "net is 0 or 1" true (net.(k) = 0 || net.(k) = 1);
     Alcotest.(check bool)
       (Printf.sprintf "%s: key %d membership matches ledger"
          table.Factory.name k)
-      (!net = 1) (mem k)
+      (net.(k) = 1)
+      (mem k)
   done
 
 (* Key-partitioned parallel inserts: no two domains touch the same

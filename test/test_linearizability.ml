@@ -1,52 +1,113 @@
-(* Linearizability checking: unit tests for the checker itself, then
-   randomized concurrent histories from the real tables (including
-   under forced resizing) searched for a valid linearization. *)
+(* Linearizability checking: unit tests for the generalized checker
+   (set, map and freezable-set models), then randomized concurrent
+   histories from the real tables — sets via the workload factory,
+   maps via [Hashmap]/[Wf_hashmap] — searched for a valid
+   linearization. *)
 
-open Linearizability
+module Lin = Nbhash_testlib.Lin
+module Record = Nbhash_testlib.Record
 module Factory = Nbhash_workload.Factory
+open Lin.Set_model
 
 (* --- checker self-tests on hand-written histories --- *)
 
-let ev op result start_t end_t = { op; result; start_t; end_t }
+let ev op result start_t end_t = { Lin.op; result; start_t; end_t }
 
 let test_sequential_legal () =
   Alcotest.(check bool) "ins then mem" true
-    (check [ ev (Ins 1) true 0 1; ev (Mem 1) true 2 3 ]);
+    (Lin.Set.check [ ev (Ins 1) true 0 1; ev (Mem 1) true 2 3 ]);
   Alcotest.(check bool) "ins, rem, mem" true
-    (check
-       [
-         ev (Ins 1) true 0 1;
-         ev (Rem 1) true 2 3;
-         ev (Mem 1) false 4 5;
-       ])
+    (Lin.Set.check
+       [ ev (Ins 1) true 0 1; ev (Rem 1) true 2 3; ev (Mem 1) false 4 5 ])
 
 let test_sequential_illegal () =
   Alcotest.(check bool) "mem true on empty set" false
-    (check [ ev (Mem 1) true 0 1 ]);
+    (Lin.Set.check [ ev (Mem 1) true 0 1 ]);
   Alcotest.(check bool) "double successful insert" false
-    (check [ ev (Ins 1) true 0 1; ev (Ins 1) true 2 3 ]);
+    (Lin.Set.check [ ev (Ins 1) true 0 1; ev (Ins 1) true 2 3 ]);
   Alcotest.(check bool) "lost insert" false
-    (check [ ev (Ins 1) true 0 1; ev (Mem 1) false 2 3 ])
+    (Lin.Set.check [ ev (Ins 1) true 0 1; ev (Mem 1) false 2 3 ])
 
 let test_concurrent_flexibility () =
   (* Two overlapping inserts of the same key: exactly one may win,
      either order is fine. *)
   Alcotest.(check bool) "overlapping inserts, one winner" true
-    (check [ ev (Ins 1) true 0 2; ev (Ins 1) false 1 3 ]);
+    (Lin.Set.check [ ev (Ins 1) true 0 2; ev (Ins 1) false 1 3 ]);
   (* A membership test overlapping an insert may see either state. *)
   Alcotest.(check bool) "overlapping mem may miss" true
-    (check [ ev (Ins 1) true 0 3; ev (Mem 1) false 1 2 ]);
+    (Lin.Set.check [ ev (Ins 1) true 0 3; ev (Mem 1) false 1 2 ]);
   Alcotest.(check bool) "overlapping mem may hit" true
-    (check [ ev (Ins 1) true 0 3; ev (Mem 1) true 1 2 ])
+    (Lin.Set.check [ ev (Ins 1) true 0 3; ev (Mem 1) true 1 2 ])
 
 let test_realtime_respected () =
   (* The insert strictly precedes the lookup in real time, so the
      lookup cannot miss. *)
   Alcotest.(check bool) "stale read rejected" false
-    (check [ ev (Ins 1) true 0 1; ev (Mem 1) false 2 3 ]);
+    (Lin.Set.check [ ev (Ins 1) true 0 1; ev (Mem 1) false 2 3 ]);
   (* But if they overlap, it can. *)
   Alcotest.(check bool) "overlapping read accepted" true
-    (check [ ev (Ins 1) true 0 2; ev (Mem 1) false 1 3 ])
+    (Lin.Set.check [ ev (Ins 1) true 0 2; ev (Mem 1) false 1 3 ])
+
+(* Keys beyond the 61-key bitmask must be refused loudly, not wrapped
+   silently into another key's bit. *)
+let test_key_guard () =
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  (match Lin.Set.check [ ev (Ins 61) true 0 1 ] with
+  | _ -> Alcotest.fail "key 61 accepted"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "error names the limit" true (contains_sub msg "61"));
+  match Lin.Set.check [ ev (Ins (-1)) true 0 1 ] with
+  | _ -> Alcotest.fail "negative key accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- map-model self-tests --- *)
+
+let mev op result start_t end_t = { Lin.op; result; start_t; end_t }
+
+let test_map_sequential () =
+  let open Lin.Map_model in
+  Alcotest.(check bool) "put get del" true
+    (Lin.Map.check
+       [
+         mev (Put (1, 10)) None 0 1;
+         mev (Get 1) (Some 10) 2 3;
+         mev (Put (1, 11)) (Some 10) 4 5;
+         mev (Del 1) (Some 11) 6 7;
+         mev (Get 1) None 8 9;
+       ]);
+  Alcotest.(check bool) "get of missing" true
+    (Lin.Map.check [ mev (Get 7) None 0 1 ]);
+  Alcotest.(check bool) "stale get rejected" false
+    (Lin.Map.check [ mev (Put (1, 10)) None 0 1; mev (Get 1) None 2 3 ]);
+  Alcotest.(check bool) "wrong previous binding rejected" false
+    (Lin.Map.check [ mev (Put (1, 10)) (Some 3) 0 1 ]);
+  Alcotest.(check bool) "overlapping puts, both orders legal" true
+    (Lin.Map.check
+       [ mev (Put (1, 10)) None 0 2; mev (Put (1, 20)) (Some 10) 1 3 ])
+
+(* --- fset-model self-tests --- *)
+
+let test_fset_model () =
+  let open Lin.Fset_model in
+  let fev op result start_t end_t = { Lin.op; result; start_t; end_t } in
+  Alcotest.(check bool) "ins then freeze sees it" true
+    (Lin.Fset.check
+       [ fev (Ins 1) (Applied true) 0 1; fev Freeze (Snapshot [ 1 ]) 2 3 ]);
+  Alcotest.(check bool) "refused insert after freeze" true
+    (Lin.Fset.check
+       [ fev Freeze (Snapshot []) 0 1; fev (Ins 1) Refused 2 3 ]);
+  (* The acceptance bug shape: freeze snapshots {1}, yet a later
+     insert still reports applied — no linearization exists. *)
+  Alcotest.(check bool) "applied insert after freeze rejected" false
+    (Lin.Fset.check
+       [ fev Freeze (Snapshot [ 1 ]) 0 1; fev (Ins 2) (Applied true) 2 3 ]);
+  Alcotest.(check bool) "overlapping freeze/ins, ins linearized first" true
+    (Lin.Fset.check
+       [ fev Freeze (Snapshot [ 2 ]) 0 3; fev (Ins 2) (Applied true) 1 2 ])
 
 (* Random sequential histories generated against a model are always
    accepted; results flipped on a random event are usually illegal and
@@ -73,10 +134,10 @@ let prop_sequential_accepted =
               | _ -> Hashtbl.mem state k
             in
             let op = match c with 0 -> Ins k | 1 -> Rem k | _ -> Mem k in
-            { op; result; start_t = 2 * i; end_t = (2 * i) + 1 })
+            { Lin.op; result; start_t = 2 * i; end_t = (2 * i) + 1 })
           ops
       in
-      check evs)
+      Lin.Set.check evs)
 
 let prop_flip_never_crashes =
   QCheck2.Test.make ~name:"checker is total on corrupted histories"
@@ -91,30 +152,60 @@ let prop_flip_never_crashes =
           (fun i (c, k) ->
             let op = match c with 0 -> Ins k | 1 -> Rem k | _ -> Mem k in
             {
-              op;
-              result = (i = flip mod max 1 (List.length ops));
+              Lin.op;
+              result = i = flip mod max 1 (List.length ops);
               start_t = 2 * i;
               end_t = (2 * i) + 1;
             })
           ops
       in
-      let _ = check evs in
+      let _ = Lin.Set.check evs in
       true)
+
+(* Model-generated map histories are always accepted. *)
+let prop_map_sequential_accepted =
+  QCheck2.Test.make ~name:"map checker accepts model-generated histories"
+    ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 1 12)
+        (triple (int_bound 2) (int_bound 2) (int_bound 5)))
+    (fun ops ->
+      let open Lin.Map_model in
+      let state = Hashtbl.create 4 in
+      let evs =
+        List.mapi
+          (fun i (c, k, v) ->
+            let prev = Hashtbl.find_opt state k in
+            let op, result =
+              match c with
+              | 0 ->
+                Hashtbl.replace state k v;
+                (Put (k, v), prev)
+              | 1 ->
+                Hashtbl.remove state k;
+                (Del k, prev)
+              | _ -> (Get k, prev)
+            in
+            { Lin.op; result; start_t = 2 * i; end_t = (2 * i) + 1 })
+          ops
+      in
+      Lin.Map.check evs)
 
 (* --- randomized histories from the real implementations --- *)
 
 let history_round (maker : Factory.maker) ~policy ~storm ~seed =
   let table = maker ~policy ~max_threads:8 () in
-  let r = recorder () in
+  let r = Record.make () in
   let worker d () =
     let ops = table.Factory.new_handle () in
     let rng = Nbhash_util.Xoshiro.create (seed + d) in
     for _ = 1 to 4 do
       let k = Nbhash_util.Xoshiro.below rng 2 in
-      match Nbhash_util.Xoshiro.below rng 3 with
-      | 0 -> record r (Ins k) (fun () -> ops.Factory.ins k)
-      | 1 -> record r (Rem k) (fun () -> ops.Factory.rem k)
-      | _ -> record r (Mem k) (fun () -> ops.Factory.look k)
+      ignore
+        (match Nbhash_util.Xoshiro.below rng 3 with
+        | 0 -> Record.record r (Ins k) (fun () -> ops.Factory.ins k)
+        | 1 -> Record.record r (Rem k) (fun () -> ops.Factory.rem k)
+        | _ -> Record.record r (Mem k) (fun () -> ops.Factory.look k))
     done
   in
   let stormer () =
@@ -126,11 +217,12 @@ let history_round (maker : Factory.maker) ~policy ~storm ~seed =
   let ds = List.init 3 (fun d -> Domain.spawn (worker d)) in
   let ds = if storm then Domain.spawn stormer :: ds else ds in
   List.iter Domain.join ds;
-  events r
+  Record.events r
 
 let assert_linearizable name evs =
-  if not (check evs) then
-    Alcotest.failf "%s: non-linearizable history:@.%a" name pp_history evs
+  if not (Lin.Set.check evs) then
+    Alcotest.failf "%s: non-linearizable history:@.%a" name Lin.Set.pp_history
+      evs
 
 let stress name ~storm () =
   let maker = Factory.by_name name in
@@ -140,6 +232,81 @@ let stress name ~storm () =
     in
     let evs = history_round maker ~policy ~storm ~seed:(seed * 17) in
     assert_linearizable name evs
+  done
+
+(* Map histories from [Hashmap] and [Wf_hashmap]: three domains
+   hammering two keys with put/get/del, optionally under a resize
+   storm, then a Wing–Gong search over the value-carrying events. *)
+type map_ops = {
+  map_name : string;
+  put : int -> int -> int option;
+  get : int -> int option;
+  del : int -> int option;
+  resize : grow:bool -> unit;
+}
+
+let hashmap_ops ~policy () =
+  let t = Nbhash.Hashmap.create ~policy () in
+  fun () ->
+    let h = Nbhash.Hashmap.register t in
+    {
+      map_name = "Hashmap";
+      put = (fun k v -> Nbhash.Hashmap.put h k v);
+      get = (fun k -> Nbhash.Hashmap.get h k);
+      del = (fun k -> Nbhash.Hashmap.remove h k);
+      resize = (fun ~grow -> Nbhash.Hashmap.force_resize h ~grow);
+    }
+
+let wf_hashmap_ops ~policy () =
+  let t = Nbhash.Wf_hashmap.create ~policy ~max_threads:8 () in
+  fun () ->
+    let h = Nbhash.Wf_hashmap.register t in
+    {
+      map_name = "Wf_hashmap";
+      put = (fun k v -> Nbhash.Wf_hashmap.put h k v);
+      get = (fun k -> Nbhash.Wf_hashmap.get h k);
+      del = (fun k -> Nbhash.Wf_hashmap.remove h k);
+      resize = (fun ~grow -> Nbhash.Wf_hashmap.force_resize h ~grow);
+    }
+
+let map_history_round make_table ~policy ~storm ~seed =
+  let open Lin.Map_model in
+  let new_handle = make_table ~policy () in
+  let r = Record.make () in
+  let worker d () =
+    let ops = new_handle () in
+    let rng = Nbhash_util.Xoshiro.create (seed + d) in
+    for i = 1 to 4 do
+      let k = Nbhash_util.Xoshiro.below rng 2 in
+      ignore
+        (match Nbhash_util.Xoshiro.below rng 3 with
+        | 0 ->
+          let v = (100 * d) + i in
+          Record.record r (Put (k, v)) (fun () -> ops.put k v)
+        | 1 -> Record.record r (Del k) (fun () -> ops.del k)
+        | _ -> Record.record r (Get k) (fun () -> ops.get k))
+    done
+  in
+  let stormer () =
+    let ops = new_handle () in
+    for i = 1 to 6 do
+      ops.resize ~grow:(i mod 2 = 0)
+    done
+  in
+  let ds = List.init 3 (fun d -> Domain.spawn (worker d)) in
+  let ds = if storm then Domain.spawn stormer :: ds else ds in
+  List.iter Domain.join ds;
+  Record.events r
+
+let map_stress make_table name ~storm () =
+  for seed = 0 to 59 do
+    let policy =
+      if storm then Nbhash.Policy.presized 4 else Nbhash.Policy.aggressive
+    in
+    let evs = map_history_round make_table ~policy ~storm ~seed:(seed * 23) in
+    if not (Lin.Map.check evs) then
+      Alcotest.failf "%s: non-linearizable map history:@.%a" name
+        Lin.Map.pp_history evs
   done
 
 let implementations =
@@ -156,8 +323,13 @@ let cases =
       test_concurrent_flexibility;
     Alcotest.test_case "checker respects real time" `Quick
       test_realtime_respected;
+    Alcotest.test_case "checker rejects out-of-range keys" `Quick
+      test_key_guard;
+    Alcotest.test_case "map checker sequential" `Quick test_map_sequential;
+    Alcotest.test_case "fset model" `Quick test_fset_model;
     QCheck_alcotest.to_alcotest prop_sequential_accepted;
     QCheck_alcotest.to_alcotest prop_flip_never_crashes;
+    QCheck_alcotest.to_alcotest prop_map_sequential_accepted;
   ]
   @ List.concat_map
       (fun name ->
@@ -169,5 +341,17 @@ let cases =
             `Slow (stress name ~storm:true);
         ])
       implementations
+  @ [
+      Alcotest.test_case "Hashmap map histories linearizable" `Slow
+        (map_stress hashmap_ops "Hashmap" ~storm:false);
+      Alcotest.test_case "Hashmap map histories linearizable under storm"
+        `Slow
+        (map_stress hashmap_ops "Hashmap" ~storm:true);
+      Alcotest.test_case "Wf_hashmap map histories linearizable" `Slow
+        (map_stress wf_hashmap_ops "Wf_hashmap" ~storm:false);
+      Alcotest.test_case "Wf_hashmap map histories linearizable under storm"
+        `Slow
+        (map_stress wf_hashmap_ops "Wf_hashmap" ~storm:true);
+    ]
 
 let suite = [ ("linearizability", cases) ]

@@ -1,0 +1,83 @@
+(* The atomics lint's own tests: the seeded fixture must be flagged
+   (each rule once), shim-following source must pass, and comments /
+   strings must not trigger. *)
+
+let rules violations = List.map (fun v -> v.Lint_rules.rule) violations
+
+(* dune runtest runs with cwd = _build/default/test (where the dep is
+   copied); `dune exec test/test_main.exe` runs from the project
+   root. *)
+let fixture_path () =
+  List.find Sys.file_exists
+    [ "fixtures/lint_violation.ml.fixture";
+      "test/fixtures/lint_violation.ml.fixture" ]
+
+let test_fixture_flagged () =
+  let vs = Lint_rules.check_file (fixture_path ()) in
+  Alcotest.(check int) "four violations" 4 (List.length vs);
+  let has frag =
+    List.exists
+      (fun r ->
+        let n = String.length r and m = String.length frag in
+        let rec go i = i + m <= n && (String.sub r i m = frag || go (i + 1)) in
+        go 0)
+      (rules vs)
+  in
+  Alcotest.(check bool) "Stdlib.Atomic flagged" true (has "Stdlib.Atomic");
+  Alcotest.(check bool) "Mutex flagged" true (has "Mutex");
+  Alcotest.(check bool) "Obj.magic flagged" true (has "Obj.magic");
+  Alcotest.(check bool) "missing re-point flagged" true (has "re-pointing")
+
+let test_shimmed_source_clean () =
+  let src =
+    "module Atomic = Nbhash_util.Nb_atomic\n\n\
+     type t = int Atomic.t\n\
+     let make () = Atomic.make 0\n\
+     let bump t = Atomic.fetch_and_add t 1\n"
+  in
+  Alcotest.(check int)
+    "clean" 0
+    (List.length (Lint_rules.check_source ~file:"good.ml" src))
+
+let test_comments_and_strings_ignored () =
+  let src =
+    "module Atomic = Nbhash_util.Nb_atomic\n\
+     (* Stdlib.Atomic and Mutex.lock in prose are fine,\n\
+    \   (* even nested: Obj.magic *) still a comment *)\n\
+     let s = \"Stdlib.Atomic Mutex.create Obj.magic\"\n\
+     let x = Atomic.make s\n"
+  in
+  Alcotest.(check int)
+    "clean" 0
+    (List.length (Lint_rules.check_source ~file:"prose.ml" src))
+
+let test_each_rule_fires () =
+  let flag src =
+    List.length (Lint_rules.check_source ~file:"frag.ml" src) > 0
+  in
+  Alcotest.(check bool) "Stdlib.Atomic" true
+    (flag "let x = Stdlib.Atomic.make 0\n");
+  Alcotest.(check bool) "Mutex" true (flag "let m = Mutex.create ()\n");
+  Alcotest.(check bool) "Condition" true (flag "let c = Condition.create ()\n");
+  Alcotest.(check bool) "Semaphore" true
+    (flag "let s = Semaphore.Counting.make 1\n");
+  Alcotest.(check bool) "Obj.magic" true (flag "let y = Obj.magic 0\n");
+  Alcotest.(check bool) "bare Atomic without shim" true
+    (flag "let z = Atomic.make 0\n");
+  (* longer identifiers must not match *)
+  Alcotest.(check bool) "MutexLike is fine" false
+    (flag "let m = MutexLike.create ()\n")
+
+let suite =
+  [
+    ( "lint",
+      [
+        Alcotest.test_case "fixture violations flagged" `Quick
+          test_fixture_flagged;
+        Alcotest.test_case "shimmed source clean" `Quick
+          test_shimmed_source_clean;
+        Alcotest.test_case "comments and strings ignored" `Quick
+          test_comments_and_strings_ignored;
+        Alcotest.test_case "each rule fires" `Quick test_each_rule_fires;
+      ] );
+  ]

@@ -15,6 +15,43 @@ let expect_invalid name p =
       | () -> Alcotest.failf "expected %s to be rejected" name
       | exception Invalid_argument _ -> ())
 
+(* The band rule [validate] enforces (grow > 2*shrink) exists to keep
+   the load-factor triggers from oscillating: a resize taken on one
+   trigger's advice must never immediately arm the opposite trigger at
+   the resulting bucket count. Checked here through the actual
+   [Trigger] decision functions over arbitrary valid policies, counts
+   and bucket counts: grow at [b] must not imply shrink at [2b], and
+   shrink at [b] must not imply grow at [b/2]. *)
+let prop_no_oscillation =
+  QCheck.Test.make ~name:"load-factor triggers never oscillate" ~count:500
+    QCheck.(
+      quad (float_range 0.5 16.0) (float_range 0.0 0.99) (int_range 0 10)
+        (int_range 0 5_000))
+    (fun (grow, ratio, k, count) ->
+      let shrink = grow *. ratio /. 2.0 in
+      let p =
+        { Policy.default with heuristic = Policy.Load_factor { grow; shrink } }
+      in
+      Policy.validate p;
+      let shared = Policy.Counter.make_shared () in
+      let l = Policy.Trigger.make_local shared ~seed:42 in
+      for _ = 1 to count do
+        Policy.Trigger.note_insert l ~resp:true
+      done;
+      Policy.Trigger.flush l;
+      let want_grow b =
+        Policy.Trigger.want_grow p shared ~cur_buckets:b
+          ~inserted_bucket_size:(fun () -> 0)
+      in
+      let want_shrink b =
+        Policy.Trigger.want_shrink p l ~cur_buckets:b
+          ~sample_bucket_size:(fun _ -> 0)
+      in
+      let b = 1 lsl k in
+      (not (want_grow b && want_shrink b))
+      && ((not (want_grow b)) || not (want_shrink (2 * b)))
+      && ((not (want_shrink b)) || not (want_grow (b / 2))))
+
 let suite =
   [
     ( "policy",
@@ -64,5 +101,6 @@ let suite =
             Policy.default with
             heuristic = Policy.Load_factor { grow = 2.0; shrink = 1.5 };
           };
+        QCheck_alcotest.to_alcotest prop_no_oscillation;
       ] );
   ]

@@ -1,0 +1,33 @@
+(* Entry point of the atomics lint: [lint.exe DIR...] walks the given
+   directories for .ml/.mli files, applies {!Lint_rules}, prints every
+   violation and exits nonzero if there is any. Wired to
+   [dune build @lint]. *)
+
+let () =
+  let dirs =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as dirs) -> dirs
+    | _ ->
+      prerr_endline "usage: lint.exe DIR...";
+      exit 2
+  in
+  List.iter
+    (fun d ->
+      if not (Sys.file_exists d && Sys.is_directory d) then begin
+        Printf.eprintf "lint: no such directory: %s\n" d;
+        exit 2
+      end)
+    dirs;
+  let violations = Lint_rules.check_dirs dirs in
+  let files = List.concat_map Lint_rules.ml_files dirs in
+  match violations with
+  | [] ->
+    Printf.printf "lint: %d files clean (%s)\n" (List.length files)
+      (String.concat " " dirs)
+  | vs ->
+    List.iter
+      (fun v -> Format.eprintf "%a@." Lint_rules.pp_violation v)
+      vs;
+    Printf.eprintf "lint: %d violation(s) in %d files\n" (List.length vs)
+      (List.length files);
+    exit 1

@@ -1,0 +1,178 @@
+(* Rules of the atomics lint over the nonblocking libraries
+   (lib/fset, lib/hashset, lib/splitorder, lib/michael,
+   lib/telemetry):
+
+   1. no direct [Stdlib.Atomic] — all atomic operations must go
+      through the [Nbhash_util.Nb_atomic] shim so the model checker
+      can trace them;
+   2. no blocking primitives ([Mutex], [Condition], [Semaphore]) —
+      the libraries claim nonblocking progress;
+   3. no [Obj.magic];
+   4. a file that uses [Atomic.] must re-point it at the shim with
+      [module Atomic = Nbhash_util.Nb_atomic].
+
+   Matching is done on source text with comments and string literals
+   blanked out, so prose mentioning "Mutex" stays legal. The checker
+   is deliberately a few dozen lines of string scanning, not a
+   compiler plugin: it runs in milliseconds under [dune build @lint]
+   and its failure messages point at exact lines. *)
+
+type violation = { file : string; line : int; rule : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s:%d: %s" v.file v.line v.rule
+
+(* Blank out comments (nested, OCaml-style) and string literals,
+   preserving newlines so line numbers survive. Escapes inside
+   strings are honored enough for real source ('\"' etc.). *)
+let blank_comments_and_strings src =
+  let b = Bytes.of_string src in
+  let n = String.length src in
+  let i = ref 0 in
+  let blank j = if Bytes.get b j <> '\n' then Bytes.set b j ' ' in
+  while !i < n do
+    if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+      let depth = ref 1 in
+      blank !i;
+      blank (!i + 1);
+      i := !i + 2;
+      while !depth > 0 && !i < n do
+        if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+          incr depth;
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2
+        end
+        else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
+          decr depth;
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2
+        end
+        else begin
+          blank !i;
+          incr i
+        end
+      done
+    end
+    else if src.[!i] = '"' then begin
+      blank !i;
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\\' && !i + 1 < n then begin
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2
+        end
+        else begin
+          if src.[!i] = '"' then closed := true;
+          blank !i;
+          incr i
+        end
+      done
+    end
+    else incr i
+  done;
+  Bytes.to_string b
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* Does [line] contain [needle] as a standalone path/identifier
+   (not a substring of a longer identifier)? A '.' before the match
+   is also disqualifying: [Foo.Mutex.] is not the stdlib [Mutex]. *)
+let mentions line needle =
+  let n = String.length line and m = String.length needle in
+  let rec go i =
+    if i + m > n then false
+    else if
+      String.sub line i m = needle
+      && (i = 0 || ((not (is_ident_char line.[i - 1])) && line.[i - 1] <> '.'))
+      && (i + m >= n || not (is_ident_char line.[i + m]))
+    then true
+    else go (i + 1)
+  in
+  go 0
+
+let shim_alias = "module Atomic = Nbhash_util.Nb_atomic"
+
+let banned =
+  [
+    ("Stdlib.Atomic", "direct Stdlib.Atomic bypasses the Nb_atomic shim");
+    ("Mutex.", "Mutex in a nonblocking library");
+    ("Condition.", "Condition in a nonblocking library");
+    ("Semaphore.", "Semaphore in a nonblocking library");
+    ("Obj.magic", "Obj.magic is forbidden");
+  ]
+
+(* [check_source ~file src] is every rule violation in [src]. *)
+let check_source ~file src =
+  let src = blank_comments_and_strings src in
+  let lines = String.split_on_char '\n' src in
+  let has_alias =
+    List.exists
+      (fun l ->
+        (* tolerate whitespace variations around '=' *)
+        let squash s =
+          String.concat " "
+            (List.filter (fun w -> w <> "") (String.split_on_char ' ' s))
+        in
+        squash l = shim_alias)
+      lines
+  in
+  let violations = ref [] in
+  let uses_atomic = ref false in
+  List.iteri
+    (fun idx l ->
+      let line = idx + 1 in
+      List.iter
+        (fun (needle, rule) ->
+          let needle =
+            (* prefix form: "Mutex." flags any use of the module *)
+            if String.length needle > 0 && needle.[String.length needle - 1] = '.'
+            then String.sub needle 0 (String.length needle - 1)
+            else needle
+          in
+          if mentions l needle then
+            violations := { file; line; rule } :: !violations)
+        banned;
+      if mentions l "Atomic" then
+        (* ignore the alias declaration itself *)
+        if not (mentions l "Nb_atomic") then uses_atomic := true)
+    lines;
+  if !uses_atomic && not has_alias then
+    violations :=
+      {
+        file;
+        line = 1;
+        rule =
+          "uses Atomic without re-pointing it at the shim (add 'module \
+           Atomic = Nbhash_util.Nb_atomic')";
+      }
+      :: !violations;
+  List.rev !violations
+
+let check_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  check_source ~file:path src
+
+let rec ml_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.concat_map (fun entry ->
+         let path = Filename.concat dir entry in
+         if Sys.is_directory path then ml_files path
+         else if
+           Filename.check_suffix entry ".ml" || Filename.check_suffix entry ".mli"
+         then [ path ]
+         else [])
+  |> List.sort compare
+
+let check_dirs dirs =
+  List.concat_map (fun d -> List.concat_map check_file (ml_files d)) dirs
