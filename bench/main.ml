@@ -3,7 +3,7 @@
    DESIGN.md.
 
    Subcommands (default: every section in quick mode):
-     f7 | x86 | policy | adaptive | shrink | fset | latency | all
+     f7 | x86 | policy | adaptive | shrink | fset | latency | churn | all
    Flags:
      --full        paper-scale parameters (longer trials, more configs)
      --smoke       seconds-scale parameters (CI sanity; overrides --full)
@@ -643,6 +643,153 @@ let latency_bench () =
   run_bechamel ~name:"table" tests
 
 (* ------------------------------------------------------------------ *)
+(* C1: grow/shrink churn — migration-tail latency with the cooperative
+   sweep (eager helpers) vs the lazy [init_bucket] backstop alone.
+   Worker domains run a 50/50 insert/remove mix and time every
+   operation while a dedicated domain storms forced grows and shrinks,
+   so a sizable fraction of operations lands inside a migration
+   window. The eager arm lets those operations claim whole chunks
+   (finishing the window quickly); the lazy arm makes each of them pay
+   per-bucket freeze-and-copy until the window drains. The headline
+   number is the per-operation p99 across the whole run.              *)
+
+let churn_bench () =
+  Report.print_heading
+    "C1: grow/shrink churn - per-op latency, eager sweep vs lazy-only [ns]";
+  let workers = 4 in
+  let key_range = 1 lsl 17 in
+  let duration = if !smoke then 0.8 else if !full then 4.0 else 2.0 in
+  let storm_gap = 0.25 in
+  let cap = 2_000_000 in
+  (* RESIZE completes the PREVIOUS migration and installs a fresh
+     all-nil head, so each forced resize opens a window that stays
+     open for the whole storm gap unless someone drains it. The table
+     is large relative to the ops in one gap, so in the lazy arm most
+     updates first-touch a nil bucket and pay the per-bucket
+     freeze-and-copy tax for the entire window. In the eager arm the
+     sweep cursor hands the whole table out within the first few
+     thousand operations; the chunk is large so those helping ops are
+     rare (well under 1% — they surface at p99.9, not p99) and
+     everything after them runs on migrated buckets. *)
+  let base = Policy.presized (key_range / 4) in
+  let eager_policy =
+    {
+      base with
+      Policy.migration = { Policy.eager = true; chunk = 64; max_helpers = 4 };
+    }
+  in
+  let arm (label, policy) =
+    let maker = Factory.by_name "LFArrayOpt" in
+    let table = maker ~policy ~max_threads:(workers + 2) () in
+    let seed = table.Factory.new_handle () in
+    for k = 0 to key_range - 1 do
+      if k land 1 = 0 then ignore (seed.Factory.ins k)
+    done;
+    if !telemetry then Nbhash_telemetry.Global.reset ();
+    let stop = Atomic.make false in
+    let lats = Array.init workers (fun _ -> Array.make cap 0.) in
+    let counts = Array.make workers 0 in
+    let worker d () =
+      let ops = table.Factory.new_handle () in
+      let rng = Nbhash_util.Xoshiro.create (31 + d) in
+      let a = lats.(d) in
+      let n = ref 0 in
+      while (not (Atomic.get stop)) && !n < cap do
+        let k = Nbhash_util.Xoshiro.below rng key_range in
+        let t0 = Monotonic_clock.now () in
+        (if Nbhash_util.Xoshiro.below rng 2 = 0 then ignore (ops.Factory.ins k)
+         else ignore (ops.Factory.rem k));
+        a.(!n) <- Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0);
+        incr n
+      done;
+      counts.(d) <- !n;
+      ops.Factory.detach ()
+    in
+    let stormer () =
+      let ops = table.Factory.new_handle () in
+      let i = ref 0 in
+      while not (Atomic.get stop) do
+        incr i;
+        ops.Factory.force_resize ~grow:(!i mod 2 = 0);
+        (* Sleep, don't spin: the window belongs to the workers. *)
+        Unix.sleepf storm_gap
+      done;
+      ops.Factory.detach ()
+    in
+    let ds =
+      Domain.spawn stormer
+      :: List.init workers (fun d -> Domain.spawn (worker d))
+    in
+    Unix.sleepf duration;
+    Atomic.set stop true;
+    List.iter Domain.join ds;
+    table.Factory.check_invariants ();
+    let total = Array.fold_left ( + ) 0 counts in
+    let all = Array.make total 0. in
+    let off = ref 0 in
+    Array.iteri
+      (fun d n ->
+        Array.blit lats.(d) 0 all !off n;
+        off := !off + n)
+      counts;
+    Array.sort compare all;
+    let pct p = Nbhash_util.Stats.percentile_sorted all p in
+    let p50 = pct 50. and p99 = pct 99. and p999 = pct 99.9 in
+    let maxl = if total = 0 then 0. else all.(total - 1) in
+    let stats = table.Factory.resize_stats () in
+    let snap =
+      if !telemetry then Some (Nbhash_telemetry.Global.snapshot ()) else None
+    in
+    emit_json ~exp:"churn"
+      ~impl:("LFArrayOpt/" ^ label)
+      ~params:
+        [
+          ("workers", string_of_int workers);
+          ("key_range", string_of_int key_range);
+          ("duration", Printf.sprintf "%.2f" duration);
+          ("ops", string_of_int total);
+          ("p50_ns", Printf.sprintf "%.0f" p50);
+          ("p99_ns", Printf.sprintf "%.0f" p99);
+          ("p999_ns", Printf.sprintf "%.0f" p999);
+          ("max_ns", Printf.sprintf "%.0f" maxl);
+        ]
+      ~ops_per_usec:(Float.of_int total /. (duration *. 1e6))
+      ~telemetry:snap;
+    note_telemetry ("LFArrayOpt/" ^ label) snap;
+    ( label,
+      p99,
+      [
+        label;
+        Report.ops_per_usec (Float.of_int total /. (duration *. 1e6));
+        Printf.sprintf "%.0f" p50;
+        Printf.sprintf "%.0f" p99;
+        Printf.sprintf "%.0f" p999;
+        Printf.sprintf "%.0f" maxl;
+        string_of_int
+          (stats.Nbhash.Hashset_intf.grows + stats.Nbhash.Hashset_intf.shrinks);
+      ] )
+  in
+  let arms =
+    [
+      ("eager-sweep", eager_policy);
+      ("lazy-only", Policy.lazy_migration base);
+    ]
+  in
+  let results = List.map arm arms in
+  Report.print_table
+    ~header:
+      [ "migration"; "ops/usec"; "p50"; "p99"; "p99.9"; "max"; "resizes" ]
+    ~rows:(List.map (fun (_, _, row) -> row) results);
+  flush_telemetry ();
+  (match results with
+  | [ (_, eager_p99, _); (_, lazy_p99, _) ] ->
+    Printf.printf
+      "\nmigration-tail p99: eager %.0f ns vs lazy %.0f ns (%.2fx)\n" eager_p99
+      lazy_p99
+      (lazy_p99 /. Float.max eager_p99 1.)
+  | _ -> ())
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -656,6 +803,7 @@ let sections =
     ("memory", memory_bench);
     ("fset", fset_bench);
     ("latency", latency_bench);
+    ("churn", churn_bench);
   ]
 
 let () =

@@ -1,4 +1,5 @@
 module Policy = Nbhash.Policy
+module Sweep = Nbhash.Sweep
 
 module Make (K : Hashtbl.HashedType) = struct
   type bslot = Uninit | Node of { elems : K.t array; ok : bool }
@@ -8,6 +9,7 @@ module Make (K : Hashtbl.HashedType) = struct
     size : int;
     mask : int;
     pred : hnode option Atomic.t;
+    sweep : Sweep.t;
   }
 
   type t = {
@@ -55,6 +57,7 @@ module Make (K : Hashtbl.HashedType) = struct
       size;
       mask = size - 1;
       pred = Atomic.make pred;
+      sweep = Sweep.make ~total:size;
     }
 
   let create ?(policy = Policy.default) () =
@@ -104,6 +107,17 @@ module Make (K : Hashtbl.HashedType) = struct
     | (Node _ | Uninit), _ -> ());
     ()
 
+  (* Cooperative sweep hooks (see Nbhash.Sweep and Table_core). *)
+  let sweep_migrate hn i = init_bucket hn i
+  let sweep_complete hn () = Atomic.set hn.pred None
+
+  let help_migration t hn =
+    let m = t.policy.Policy.migration in
+    if m.Policy.eager && Atomic.get hn.pred <> None then
+      Sweep.help hn.sweep ~chunk:m.Policy.chunk
+        ~max_helpers:m.Policy.max_helpers ~migrate:(sweep_migrate hn)
+        ~on_complete:(sweep_complete hn)
+
   let resize t grow =
     let hn = Atomic.get t.head in
     let within_bounds =
@@ -111,9 +125,14 @@ module Make (K : Hashtbl.HashedType) = struct
       else hn.size / 2 >= t.policy.Policy.min_buckets
     in
     if (hn.size > 1 || grow) && within_bounds then begin
+      let m = t.policy.Policy.migration in
+      if m.Policy.eager && Atomic.get hn.pred <> None then
+        Sweep.drain hn.sweep ~chunk:m.Policy.chunk
+          ~migrate:(sweep_migrate hn) ~on_complete:(sweep_complete hn);
       for i = 0 to hn.size - 1 do
         init_bucket hn i
       done;
+      if m.Policy.eager then Sweep.finish hn.sweep;
       Atomic.set hn.pred None;
       let size = if grow then hn.size * 2 else hn.size / 2 in
       let hn' = make_hnode ~size ~pred:(Some hn) in
@@ -159,17 +178,20 @@ module Make (K : Hashtbl.HashedType) = struct
   let after_add h hk ~resp =
     Policy.Trigger.note_insert h.local ~resp;
     let hn = Atomic.get h.table.head in
+    help_migration h.table hn;
     if
-      Policy.Trigger.want_grow h.table.policy h.table.count
-        ~cur_buckets:hn.size
+      Policy.Trigger.want_grow h.table.policy h.local ~cur_buckets:hn.size
+        ~migrating:(Atomic.get hn.pred <> None)
         ~inserted_bucket_size:(fun () -> slot_size hn.buckets.(hk land hn.mask))
     then resize h.table true
 
   let after_del h ~resp =
     Policy.Trigger.note_remove h.local ~resp;
     let hn = Atomic.get h.table.head in
+    help_migration h.table hn;
     if
       Policy.Trigger.want_shrink h.table.policy h.local ~cur_buckets:hn.size
+        ~migrating:(Atomic.get hn.pred <> None)
         ~sample_bucket_size:(fun i -> slot_size hn.buckets.(i))
     then resize h.table false
 

@@ -1,3 +1,6 @@
+(* Lifts any injectively-intable key type onto an integer table. The
+   policy — including the cooperative-migration knob
+   [Policy.migration] — passes through [create] unchanged. *)
 module type KEY = sig
   type t
 

@@ -14,6 +14,7 @@ type hnode = {
   size : int;
   mask : int;
   pred : hnode option Atomic.t;
+  sweep : Sweep.t;
 }
 
 type t = {
@@ -34,6 +35,7 @@ let make_hnode ~size ~pred =
     size;
     mask = size - 1;
     pred = Atomic.make pred;
+    sweep = Sweep.make ~total:size;
   }
 
 let create ?(policy = Policy.default) ?max_threads () =
@@ -106,6 +108,18 @@ let init_bucket hn i =
   | (Node _ | Uninit), _ -> ());
   hn.buckets.(i)
 
+(* Cooperative sweep hooks (see Sweep and Table_core): one idempotent
+   lazy step per index, early predecessor cut on completion. *)
+let sweep_migrate hn i = ignore (init_bucket hn i)
+let sweep_complete hn () = Atomic.set hn.pred None
+
+let help_migration t hn =
+  let m = t.policy.Policy.migration in
+  if m.Policy.eager && Atomic.get hn.pred <> None then
+    Sweep.help hn.sweep ~chunk:m.Policy.chunk
+      ~max_helpers:m.Policy.max_helpers ~migrate:(sweep_migrate hn)
+      ~on_complete:(sweep_complete hn)
+
 let resize t grow =
   let hn = Atomic.get t.head in
   let within_bounds =
@@ -114,9 +128,14 @@ let resize t grow =
   in
   if (hn.size > 1 || grow) && within_bounds then begin
     let start_ns = Tm.now_ns () in
+    let m = t.policy.Policy.migration in
+    if m.Policy.eager && Atomic.get hn.pred <> None then
+      Sweep.drain hn.sweep ~chunk:m.Policy.chunk ~migrate:(sweep_migrate hn)
+        ~on_complete:(sweep_complete hn);
     for i = 0 to hn.size - 1 do
       ignore (init_bucket hn i)
     done;
+    if m.Policy.eager then Sweep.finish hn.sweep;
     Atomic.set hn.pred None;
     let size = if grow then hn.size * 2 else hn.size / 2 in
     let hn' = make_hnode ~size ~pred:(Some hn) in
@@ -177,17 +196,20 @@ let slot_size slot =
 let after_insert h k ~resp =
   Policy.Trigger.note_insert h.local ~resp;
   let hn = Atomic.get h.table.head in
+  help_migration h.table hn;
   if
-    Policy.Trigger.want_grow h.table.policy h.table.count
-      ~cur_buckets:hn.size
+    Policy.Trigger.want_grow h.table.policy h.local ~cur_buckets:hn.size
+      ~migrating:(Atomic.get hn.pred <> None)
       ~inserted_bucket_size:(fun () -> slot_size hn.buckets.(k land hn.mask))
   then resize h.table true
 
 let after_remove h ~resp =
   Policy.Trigger.note_remove h.local ~resp;
   let hn = Atomic.get h.table.head in
+  help_migration h.table hn;
   if
     Policy.Trigger.want_shrink h.table.policy h.local ~cur_buckets:hn.size
+      ~migrating:(Atomic.get hn.pred <> None)
       ~sample_bucket_size:(fun i -> slot_size hn.buckets.(i))
   then resize h.table false
 

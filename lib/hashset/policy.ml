@@ -34,12 +34,34 @@ type heuristic =
       shrink : float;  (** shrink when count < shrink * buckets *)
     }
 
+(** How the bucket migration that follows a resize is spread across
+    threads. The paper migrates purely lazily: bucket [i] of the new
+    HNode is initialized by whichever operation touches it first, so
+    the whole rehash cost lands on the threads that happen to hit
+    uninitialized buckets. With [eager = true] (the default), update
+    operations passing through a table whose head still has a
+    predecessor additionally claim one contiguous chunk of [chunk]
+    bucket indices from a shared cursor and migrate it — cooperative
+    work stealing in the style of DHash — with lazy [init_bucket]
+    retained untouched as the correctness backstop. [max_helpers]
+    bounds how many threads sweep concurrently (the resizing thread's
+    final drain is exempt: it must always be able to finish alone).
+    [eager = false] restores the paper-faithful behaviour exactly. *)
+type migration = {
+  eager : bool;  (** sweep cooperatively; [false] = paper-faithful lazy *)
+  chunk : int;  (** bucket indices claimed per cursor fetch; >= 1 *)
+  max_helpers : int;  (** concurrent sweeping threads bound; >= 1 *)
+}
+
+let default_migration = { eager = true; chunk = 8; max_helpers = 4 }
+
 type t = {
   enabled : bool;  (** when [false], the table never resizes on its own *)
   heuristic : heuristic;
   min_buckets : int;  (** never shrink below this many buckets *)
   max_buckets : int;  (** never grow above this many buckets *)
   init_buckets : int;  (** initial bucket-array size; a power of two *)
+  migration : migration;
 }
 
 let default =
@@ -49,6 +71,7 @@ let default =
     min_buckets = 1;
     max_buckets = 1 lsl 22;
     init_buckets = 1;
+    migration = default_migration;
   }
 
 (* The paper's per-bucket heuristic, with its suggested shape. *)
@@ -90,7 +113,14 @@ let aggressive =
     min_buckets = 1;
     max_buckets = 1 lsl 22;
     init_buckets = 1;
+    migration = default_migration;
   }
+
+(* The paper's migration discipline, unchanged: every bucket waits for
+   its first toucher. Useful as the baseline arm of migration
+   benchmarks and differential tests. *)
+let lazy_migration p =
+  { p with migration = { p.migration with eager = false } }
 
 let validate p =
   if not (Nbhash_util.Bits.is_pow2 p.init_buckets) then
@@ -99,6 +129,9 @@ let validate p =
     invalid_arg "Policy: bucket bounds out of order";
   if p.init_buckets < p.min_buckets || p.init_buckets > p.max_buckets then
     invalid_arg "Policy: init_buckets outside [min_buckets, max_buckets]";
+  if p.migration.chunk < 1 then invalid_arg "Policy: migration chunk < 1";
+  if p.migration.max_helpers < 1 then
+    invalid_arg "Policy: migration max_helpers < 1";
   match p.heuristic with
   | Bucket_size { shrink_samples; shrink_period; _ } ->
     if not (Nbhash_util.Bits.is_pow2 shrink_period) then
@@ -174,32 +207,50 @@ module Trigger = struct
      cell so the load-factor heuristic keeps seeing them. *)
   let flush l = Counter.flush l.counter
 
-  let want_grow p shared ~cur_buckets ~inserted_bucket_size =
+  (* While a resize is still being absorbed (the head HNode has a
+     predecessor), the shared count can lag behind reality by up to
+     [flush_threshold - 1] per handle: the resize that just fired was
+     decided on a count including this handle's deltas, but the deltas
+     that arrived since remain pending. Evaluating the trigger on that
+     stale estimate can re-arm it and fire a second resize sized for a
+     table the first resize has already replaced. So when [migrating]
+     the caller's pending deltas are flushed before the load factor is
+     read; outside a migration the normal batching (and its bounded
+     error) is kept — that is the whole point of the approximate
+     counter. *)
+  let want_grow p l ~cur_buckets ~migrating ~inserted_bucket_size =
     p.enabled
     && cur_buckets * 2 <= p.max_buckets
-    &&
-    match p.heuristic with
-    | Load_factor { grow; _ } ->
-      Float.of_int (Counter.approx shared) > grow *. Float.of_int cur_buckets
-    | Bucket_size { grow_threshold; _ } ->
-      inserted_bucket_size () >= grow_threshold
+    && begin
+         if migrating then Counter.flush l.counter;
+         match p.heuristic with
+         | Load_factor { grow; _ } ->
+           Float.of_int (Counter.approx l.counter.Counter.shared)
+           > grow *. Float.of_int cur_buckets
+         | Bucket_size { grow_threshold; _ } ->
+           inserted_bucket_size () >= grow_threshold
+       end
 
-  let want_shrink p l ~cur_buckets ~sample_bucket_size =
+  let want_shrink p l ~cur_buckets ~migrating ~sample_bucket_size =
     p.enabled && cur_buckets > 1
     && cur_buckets / 2 >= p.min_buckets
-    &&
-    match p.heuristic with
-    | Load_factor { shrink; _ } ->
-      Float.of_int (Counter.approx l.counter.Counter.shared)
-      < shrink *. Float.of_int cur_buckets
-    | Bucket_size { shrink_threshold; shrink_samples; shrink_period; _ } ->
-      l.removes <- (l.removes + 1) land (shrink_period - 1);
-      l.removes = 0
-      &&
-      let all_small = ref true in
-      for _ = 1 to shrink_samples do
-        let i = Nbhash_util.Xoshiro.below l.rng cur_buckets in
-        if sample_bucket_size i >= shrink_threshold then all_small := false
-      done;
-      !all_small
+    && begin
+         if migrating then Counter.flush l.counter;
+         match p.heuristic with
+         | Load_factor { shrink; _ } ->
+           Float.of_int (Counter.approx l.counter.Counter.shared)
+           < shrink *. Float.of_int cur_buckets
+         | Bucket_size { shrink_threshold; shrink_samples; shrink_period; _ }
+           ->
+           l.removes <- (l.removes + 1) land (shrink_period - 1);
+           l.removes = 0
+           &&
+           let all_small = ref true in
+           for _ = 1 to shrink_samples do
+             let i = Nbhash_util.Xoshiro.below l.rng cur_buckets in
+             if sample_bucket_size i >= shrink_threshold then
+               all_small := false
+           done;
+           !all_small
+       end
 end

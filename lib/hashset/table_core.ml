@@ -24,6 +24,10 @@ module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
     size : int;
     mask : int;
     pred : hnode option Atomic.t;
+    sweep : Sweep.t;
+        (* chunk cursor for the cooperative migration of THIS HNode's
+           buckets out of [pred]; unused (and never claimed from) on
+           HNodes created without a predecessor *)
   }
 
   type t = {
@@ -40,6 +44,7 @@ module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
       size;
       mask = size - 1;
       pred = Atomic.make pred;
+      sweep = Sweep.make ~total:size;
     }
 
   (* Unlike the paper's one-bucket initial table, a fresh table may be
@@ -106,11 +111,34 @@ module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
     | Some b -> b
     | None -> init_bucket hn i
 
+  (* Cooperative sweep plumbing: migrating bucket [i] is exactly the
+     idempotent lazy step, and completing the sweep discharges
+     Invariant 11's condition for cutting the predecessor loose
+     early. *)
+  let sweep_migrate hn i = ignore (init_bucket hn i)
+  let sweep_complete hn () = Atomic.set hn.pred None
+
+  (* One helping step on the way through a migrating table: claim (at
+     most) one chunk of nil buckets of the head and migrate it. Called
+     from the update-path policy hooks, so every active writer chips
+     in instead of leaving the whole rehash to whoever faults on a nil
+     bucket. *)
+  let help_migration t hn =
+    let m = t.policy.Policy.migration in
+    if m.Policy.eager && Atomic.get hn.pred <> None then
+      Sweep.help hn.sweep ~chunk:m.Policy.chunk
+        ~max_helpers:m.Policy.max_helpers ~migrate:(sweep_migrate hn)
+        ~on_complete:(sweep_complete hn)
+
   (* RESIZE: force full migration into the head HNode, cut the
      now-immutable predecessor loose, and install a double- or
      half-sized successor. The head CAS is the only step that changes
      which HNode is current, and it preserves the abstract set
-     (Lemma 14). *)
+     (Lemma 14). The resizer first drains the sweep cursor (so its
+     share of the work is accounted as sweep participation), then
+     falls through to the paper's index loop, which doubles as the
+     catch-up pass for chunks still in flight on stalled helpers —
+     never waiting on them keeps RESIZE's progress argument intact. *)
   let resize t grow =
     let hn = Atomic.get t.head in
     let within_bounds =
@@ -119,9 +147,14 @@ module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
     in
     if (hn.size > 1 || grow) && within_bounds then begin
       let start_ns = Tm.now_ns () in
+      let m = t.policy.Policy.migration in
+      if m.Policy.eager && Atomic.get hn.pred <> None then
+        Sweep.drain hn.sweep ~chunk:m.Policy.chunk
+          ~migrate:(sweep_migrate hn) ~on_complete:(sweep_complete hn);
       for i = 0 to hn.size - 1 do
         ignore (init_bucket hn i)
       done;
+      if m.Policy.eager then Sweep.finish hn.sweep;
       Atomic.set hn.pred None;
       let size = if grow then hn.size * 2 else hn.size / 2 in
       let hn' = make_hnode ~size ~pred:(Some hn) in
@@ -172,16 +205,20 @@ module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
   let after_insert t local ~key ~resp =
     Policy.Trigger.note_insert local ~resp;
     let hn = Atomic.get t.head in
+    help_migration t hn;
     if
-      Policy.Trigger.want_grow t.policy t.count ~cur_buckets:hn.size
+      Policy.Trigger.want_grow t.policy local ~cur_buckets:hn.size
+        ~migrating:(Atomic.get hn.pred <> None)
         ~inserted_bucket_size:(fun () -> bucket_size_at hn (key land hn.mask))
     then resize t true
 
   let after_remove t local ~resp =
     Policy.Trigger.note_remove local ~resp;
     let hn = Atomic.get t.head in
+    help_migration t hn;
     if
       Policy.Trigger.want_shrink t.policy local ~cur_buckets:hn.size
+        ~migrating:(Atomic.get hn.pred <> None)
         ~sample_bucket_size:(bucket_size_at hn)
     then resize t false
 

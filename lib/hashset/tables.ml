@@ -1,7 +1,12 @@
 (** The seven resizable tables the paper evaluates, instantiated and
     named as in section 8. (The eighth, SplitOrder, is the baseline in
     [Nbhash_splitorder]; a non-resizable reference, Michael's table,
-    is in [Nbhash_michael].) *)
+    is in [Nbhash_michael].)
+
+    All of them migrate buckets both lazily (the paper's INITBUCKET)
+    and eagerly through the cooperative sweep; [Policy.migration]
+    configures the sweep per table and [Policy.lazy_migration]
+    restores the paper's pure-lazy behaviour (DESIGN.md System 12). *)
 
 module LFArray = Lf_hashset.Make (Nbhash_fset.Lf_array_fset)
 

@@ -119,7 +119,11 @@ module Make (F : Nbhash_fset.Fset_intf.WF) = struct
     Tm.record_span Ev.Slowpath_span ~start_ns;
     resp
 
-  (* Policy triggers, identical in shape to the lock-free table's. *)
+  (* Policy triggers, identical in shape to the lock-free table's.
+     These hooks also run the cooperative migration sweep (DESIGN.md
+     System 12): a wait-free update passing through a resizing table
+     claims at most one bucket chunk, which does not change the
+     helping bound — the chunk size is a constant of the policy. *)
   let after_insert h k ~resp = Core.after_insert h.table.core h.local ~key:k ~resp
   let after_remove h ~resp = Core.after_remove h.table.core h.local ~resp
 end

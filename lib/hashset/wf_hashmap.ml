@@ -23,6 +23,7 @@ type 'v hnode = {
   size : int;
   mask : int;
   pred : 'v hnode option Atomic.t;
+  sweep : Sweep.t;
 }
 
 type 'v t = {
@@ -55,6 +56,7 @@ let make_hnode ~size ~pred =
     size;
     mask = size - 1;
     pred = Atomic.make pred;
+    sweep = Sweep.make ~total:size;
   }
 
 let create ?(policy = Policy.default) ?(max_threads = 128) () =
@@ -240,6 +242,17 @@ let ensure_bucket hn k =
   | N _ -> ());
   i
 
+(* Cooperative sweep hooks (see Sweep and Table_core). *)
+let sweep_migrate hn i = init_bucket hn i
+let sweep_complete hn () = Atomic.set hn.pred None
+
+let help_migration t hn =
+  let m = t.policy.Policy.migration in
+  if m.Policy.eager && Atomic.get hn.pred <> None then
+    Sweep.help hn.sweep ~chunk:m.Policy.chunk
+      ~max_helpers:m.Policy.max_helpers ~migrate:(sweep_migrate hn)
+      ~on_complete:(sweep_complete hn)
+
 let resize t grow =
   let hn = Atomic.get t.head in
   let within_bounds =
@@ -247,9 +260,14 @@ let resize t grow =
     else hn.size / 2 >= t.policy.Policy.min_buckets
   in
   if (hn.size > 1 || grow) && within_bounds then begin
+    let m = t.policy.Policy.migration in
+    if m.Policy.eager && Atomic.get hn.pred <> None then
+      Sweep.drain hn.sweep ~chunk:m.Policy.chunk ~migrate:(sweep_migrate hn)
+        ~on_complete:(sweep_complete hn);
     for i = 0 to hn.size - 1 do
       init_bucket hn i
     done;
+    if m.Policy.eager then Sweep.finish hn.sweep;
     Atomic.set hn.pred None;
     let size = if grow then hn.size * 2 else hn.size / 2 in
     let hn' = make_hnode ~size ~pred:(Some hn) in
@@ -293,8 +311,10 @@ let slot_pair_count slot =
 let after_insert h k ~grew =
   Policy.Trigger.note_insert h.local ~resp:grew;
   let hn = Atomic.get h.table.head in
+  help_migration h.table hn;
   if
-    Policy.Trigger.want_grow h.table.policy h.table.count ~cur_buckets:hn.size
+    Policy.Trigger.want_grow h.table.policy h.local ~cur_buckets:hn.size
+      ~migrating:(Atomic.get hn.pred <> None)
       ~inserted_bucket_size:(fun () ->
         slot_pair_count hn.buckets.(k land hn.mask))
   then resize h.table true
@@ -302,8 +322,10 @@ let after_insert h k ~grew =
 let after_remove h ~resp =
   Policy.Trigger.note_remove h.local ~resp;
   let hn = Atomic.get h.table.head in
+  help_migration h.table hn;
   if
     Policy.Trigger.want_shrink h.table.policy h.local ~cur_buckets:hn.size
+      ~migrating:(Atomic.get hn.pred <> None)
       ~sample_bucket_size:(fun i -> slot_pair_count hn.buckets.(i))
   then resize h.table false
 

@@ -18,8 +18,13 @@ type t =
   | Fastpath_entry  (** an adaptive operation entered the lock-free fast path *)
   | Counter_flush  (** a per-handle approximate-count delta batch was flushed *)
   | Contains_pred  (** CONTAINS fell back to a predecessor bucket *)
+  | Sweep_chunk_claimed
+      (** a thread claimed a contiguous bucket chunk from the sweep cursor *)
+  | Sweep_buckets_migrated
+      (** buckets processed by sweep chunks (lazily initialized ones
+          replayed by a chunk count too: replay is idempotent) *)
 
-let count = 11
+let count = 13
 
 let index = function
   | Cas_retry -> 0
@@ -33,6 +38,8 @@ let index = function
   | Fastpath_entry -> 8
   | Counter_flush -> 9
   | Contains_pred -> 10
+  | Sweep_chunk_claimed -> 11
+  | Sweep_buckets_migrated -> 12
 
 let to_string = function
   | Cas_retry -> "cas_retry"
@@ -46,6 +53,8 @@ let to_string = function
   | Fastpath_entry -> "fastpath_entry"
   | Counter_flush -> "counter_flush"
   | Contains_pred -> "contains_pred"
+  | Sweep_chunk_claimed -> "sweep_chunk_claimed"
+  | Sweep_buckets_migrated -> "sweep_buckets_migrated"
 
 let all =
   [
@@ -60,16 +69,30 @@ let all =
     Fastpath_entry;
     Counter_flush;
     Contains_pred;
+    Sweep_chunk_claimed;
+    Sweep_buckets_migrated;
   ]
 
-(** Duration-valued events, each backed by a log2 histogram. *)
-type span = Resize_span | Slowpath_span
+(** Histogram-valued events. The [_span] constructors are
+    duration-valued (nanoseconds, recorded via [Probe.record_span]);
+    [Sweep_helpers] is a raw-value histogram (recorded via
+    [Probe.observe]) of the number of distinct domains that claimed at
+    least one sweep chunk during a single migration — the
+    work-stealing participation measure. *)
+type span = Resize_span | Slowpath_span | Sweep_span | Sweep_helpers
 
-let span_count = 2
-let span_index = function Resize_span -> 0 | Slowpath_span -> 1
+let span_count = 4
+
+let span_index = function
+  | Resize_span -> 0
+  | Slowpath_span -> 1
+  | Sweep_span -> 2
+  | Sweep_helpers -> 3
 
 let span_to_string = function
   | Resize_span -> "resize_ns"
   | Slowpath_span -> "slowpath_ns"
+  | Sweep_span -> "sweep_chunk_ns"
+  | Sweep_helpers -> "sweep_helpers"
 
-let all_spans = [ Resize_span; Slowpath_span ]
+let all_spans = [ Resize_span; Slowpath_span; Sweep_span; Sweep_helpers ]

@@ -21,6 +21,8 @@ let[@inline] now_ns () = Probe.now_ns (Atomic.get current)
 let[@inline] record_span s ~start_ns =
   Probe.record_span (Atomic.get current) s ~start_ns
 
+let[@inline] observe s v = Probe.observe (Atomic.get current) s v
+
 let snapshot () = Probe.snapshot (Atomic.get current)
 let reset () = Probe.reset (Atomic.get current)
 

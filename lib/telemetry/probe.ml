@@ -42,6 +42,13 @@ let[@inline] record_span p s ~start_ns =
   | Recording r ->
     Histogram.observe r.spans.(Event.span_index s) (clock_ns () - start_ns)
 
+(* Raw-value histogram observation, for span-typed events that are not
+   durations (e.g. [Event.Sweep_helpers] participation counts). *)
+let[@inline] observe p s v =
+  match p with
+  | Noop -> ()
+  | Recording r -> Histogram.observe r.spans.(Event.span_index s) v
+
 let snapshot = function
   | Noop -> Snapshot.zero
   | Recording r ->

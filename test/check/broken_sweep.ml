@@ -1,0 +1,135 @@
+(* A deliberately broken migration sweep: the chunk claimer copies
+   predecessor buckets WITHOUT freezing them first (it "skips the
+   frozen re-check" — the claim-then-freeze ordering of DESIGN.md
+   System 12). The table's own update path is the correct one
+   (flattened LFArrayOpt shape: lazy [init_bucket] WITH freeze, retry
+   from the top on a lost CAS or a frozen node), so any counterexample
+   the explorer finds is the sweep's fault:
+
+     an updater that read [head] before the resize installs the new
+     HNode can still CAS into the old bucket; the real sweep's freeze
+     makes that CAS fail (node replaced by a frozen one) and the retry
+     re-resolves through the new head, but the broken claim leaves the
+     old bucket writable after its contents were copied — the update
+     is applied to a bucket nobody will ever read again.
+
+   The model-check suite demands that the explorer catches this within
+   its bounded schedule budget, while the shipped sweep passes the
+   same exploration. Atomics go through the shim so the checker can
+   schedule them. *)
+
+module Atomic = Nbhash_util.Nb_atomic
+module Intset = Nbhash_fset.Intset
+
+type bslot = Uninit | Node of { elems : int array; ok : bool }
+
+type hnode = {
+  buckets : bslot Atomic.t array;
+  size : int;
+  mask : int;
+  pred : hnode option Atomic.t;
+}
+
+type t = { head : hnode Atomic.t }
+
+let make_hnode ~size ~pred =
+  {
+    buckets = Array.init size (fun _ -> Atomic.make Uninit);
+    size;
+    mask = size - 1;
+    pred = Atomic.make pred;
+  }
+
+let create () =
+  let hn = make_hnode ~size:1 ~pred:None in
+  Atomic.set hn.buckets.(0) (Node { elems = [||]; ok = true });
+  { head = Atomic.make hn }
+
+(* Correct freeze (CAS the ok bit off in place), used only by the
+   correct lazy path below. *)
+let rec freeze_slot slot =
+  match Atomic.get slot with
+  | Uninit -> assert false
+  | Node n as cur ->
+    if not n.ok then n.elems
+    else if
+      Atomic.compare_and_set slot cur (Node { elems = n.elems; ok = false })
+    then n.elems
+    else freeze_slot slot
+
+(* Correct lazy migration, kept intact as in the real tables. *)
+let init_bucket hn i =
+  (match (Atomic.get hn.buckets.(i), Atomic.get hn.pred) with
+  | Uninit, Some s ->
+    let elems =
+      if hn.size = s.size * 2 then
+        Intset.filter_mask
+          (freeze_slot s.buckets.(i land s.mask))
+          ~mask:hn.mask ~target:i
+      else
+        Intset.disjoint_union
+          (freeze_slot s.buckets.(i))
+          (freeze_slot s.buckets.(i + hn.size))
+    in
+    ignore
+      (Atomic.compare_and_set hn.buckets.(i) Uninit (Node { elems; ok = true }))
+  | (Node _ | Uninit), _ -> ())
+
+(* Correct lock-free insert: retry from the top re-resolves the head
+   and re-checks the freeze bit every time. *)
+let rec insert t k =
+  let hn = Atomic.get t.head in
+  let i = k land hn.mask in
+  let slot = hn.buckets.(i) in
+  match Atomic.get slot with
+  | Uninit ->
+    init_bucket hn i;
+    insert t k
+  | Node n as cur ->
+    if not n.ok then insert t k
+    else if Intset.mem n.elems k then false
+    else if
+      Atomic.compare_and_set slot cur
+        (Node { elems = Intset.add n.elems k; ok = true })
+    then true
+    else insert t k
+
+(* Install a double-sized head, then sweep every chunk of it — with
+   the BUG: predecessor buckets are read, not frozen, before their
+   contents are copied. Completing the sweep cuts the predecessor
+   loose, exactly as the real sweep's early-completion path does. *)
+let resize_and_sweep_broken t =
+  let hn = Atomic.get t.head in
+  let hn' = make_hnode ~size:(hn.size * 2) ~pred:(Some hn) in
+  if Atomic.compare_and_set t.head hn hn' then begin
+    for i = 0 to hn'.size - 1 do
+      match Atomic.get hn'.buckets.(i) with
+      | Node _ -> ()
+      | Uninit ->
+        (* BUG: plain read of the predecessor bucket; a concurrent
+           updater holding the old head can still CAS into it after
+           this copy. [init_bucket] freezes here. *)
+        let elems =
+          match Atomic.get hn.buckets.(i land hn.mask) with
+          | Uninit -> [||]
+          | Node n -> n.elems
+        in
+        let elems = Intset.filter_mask elems ~mask:hn'.mask ~target:i in
+        ignore
+          (Atomic.compare_and_set hn'.buckets.(i) Uninit
+             (Node { elems; ok = true }))
+    done;
+    Atomic.set hn'.pred None
+  end
+
+let contains t k =
+  let hn = Atomic.get t.head in
+  match Atomic.get hn.buckets.(k land hn.mask) with
+  | Node n -> Intset.mem n.elems k
+  | Uninit -> (
+    match Atomic.get hn.pred with
+    | Some s -> (
+      match Atomic.get s.buckets.(k land s.mask) with
+      | Node n -> Intset.mem n.elems k
+      | Uninit -> false)
+    | None -> false)

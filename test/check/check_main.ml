@@ -69,6 +69,7 @@ let () =
     max_preemptions max_execs;
   List.iter expect_pass Scenarios.all;
   expect_fail Scenarios.broken;
+  expect_fail Scenarios.broken_sweep;
   if !failures > 0 then begin
     Printf.printf "%d scenario(s) failed\n%!" !failures;
     exit 1

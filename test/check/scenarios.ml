@@ -202,12 +202,89 @@ module Table_races (H : Nbhash.Hashset_intf.S) = struct
     (threads, verdict t h1 r)
 end
 
+(* Cooperative-sweep races: the table starts mid-migration (a forced
+   grow in setup leaves the head HNode with a predecessor and every
+   head bucket nil), and the racing update operations both migrate
+   lazily on first touch AND claim sweep chunks from the shared cursor
+   on their way out ([help_migration] runs inside the policy hooks).
+   With [chunk] covering the whole table, one thread's claimed chunk
+   races the other thread's lazy [init_bucket] on the same indices —
+   the install CAS must admit exactly one copy of each bucket. *)
+module Sweep_races (H : Nbhash.Hashset_intf.S) = struct
+  let sweep_policy buckets ~chunk =
+    {
+      (Policy.presized buckets) with
+      Policy.migration = { Policy.eager = true; chunk; max_helpers = 4 };
+    }
+
+  let verdict ~keys t h r () =
+    List.iter
+      (fun k ->
+        ignore
+          (Record.record r (Lin.Set_model.Mem k) (fun () -> H.contains h k)))
+      keys;
+    match H.check_invariants t with
+    | exception Failure msg -> Error ("invariant violation: " ^ msg)
+    | () ->
+      let evs = Record.events r in
+      if Lin.Set.check evs then Ok ()
+      else
+        Error
+          (Format.asprintf "table history is not linearizable:@.%a"
+             Lin.Set.pp_history evs)
+
+  let setup ~buckets ~chunk =
+    let t = H.create ~policy:(sweep_policy buckets ~chunk) ~max_threads:4 () in
+    let h1 = H.register t and h2 = H.register t in
+    let r = Record.make () in
+    (t, h1, h2, r)
+
+  let record_insert r h k =
+    ignore (Record.record r (Lin.Set_model.Ins k) (fun () -> H.insert h k))
+
+  (* Both inserts lazily initialize their own head bucket, then each
+     claims a whole-table chunk: helper-vs-lazy and helper-vs-helper
+     install races on every bucket. *)
+  let helper_vs_lazy () =
+    let t, h1, h2, r = setup ~buckets:2 ~chunk:4 in
+    record_insert r h1 0;
+    record_insert r h1 1;
+    H.force_resize h1 ~grow:true;
+    let threads =
+      [|
+        (fun () -> record_insert r h1 5);
+        (fun () -> record_insert r h2 2);
+      |]
+    in
+    (threads, verdict ~keys:[ 0; 1; 2; 5 ] t h1 r)
+
+  (* A sweeping helper races the next resize: the insert's claimed
+     chunk overlaps the shrink's cursor drain and catch-up loop, and
+     the shrink installs a successor while the helper may still be
+     mid-chunk — the idempotent-replay and never-wait obligations of
+     the sweep engine. *)
+  let sweep_vs_grow_shrink () =
+    let t, h1, h2, r = setup ~buckets:2 ~chunk:2 in
+    record_insert r h1 0;
+    record_insert r h1 3;
+    H.force_resize h1 ~grow:true;
+    let threads =
+      [|
+        (fun () -> record_insert r h1 2);
+        (fun () -> H.force_resize h2 ~grow:false);
+      |]
+    in
+    (threads, verdict ~keys:[ 0; 2; 3 ] t h1 r)
+end
+
 module Lf_array = Freeze_vs_update (Nbhash_fset.Lf_array_fset)
 module Lf_list = Freeze_vs_update (Nbhash_fset.Lf_list_fset)
 module Ulist = Freeze_vs_update (Nbhash_fset.Ulist_fset)
 module Wf_array = Wf_freeze_vs_update (Nbhash_fset.Wf_array_fset)
 module LFArray = Table_races (Nbhash.Tables.LFArray)
 module WFArray = Table_races (Nbhash.Tables.WFArray)
+module LFArray_sweep = Sweep_races (Nbhash.Tables.LFArray)
+module WFArray_sweep = Sweep_races (Nbhash.Tables.WFArray)
 module Broken = Freeze_vs_update (Broken_fset)
 
 (* Every shipped implementation must pass bounded exploration of
@@ -224,9 +301,39 @@ let all : (string * Explore.scenario) list =
     ("lfarray shrink during contains", LFArray.shrink_during_contains);
     ("lfarray grow vs grow", LFArray.grow_vs_grow);
     ("wfarray grow during insert", WFArray.grow_during_insert);
+    ("lfarray sweep helper vs lazy init", LFArray_sweep.helper_vs_lazy);
+    ("lfarray sweep vs grow-shrink", LFArray_sweep.sweep_vs_grow_shrink);
+    ("wfarray sweep helper vs lazy init", WFArray_sweep.helper_vs_lazy);
+    ("wfarray sweep vs grow-shrink", WFArray_sweep.sweep_vs_grow_shrink);
   ]
 
 (* ... and the deliberately broken FSet (no [ok] re-check on the retry
    path) must fail it, with a printed counterexample schedule. *)
 let broken : string * Explore.scenario =
   ("broken-fset freeze vs update (expected violation)", Broken.scenario)
+
+(* The broken chunk claimer: a stale-head insert races the no-freeze
+   sweep. The update's success must imply membership; the missing
+   freeze lets the interleaving "copy pred bucket, apply update to
+   pred bucket, cut pred" lose the key. *)
+let broken_sweep : string * Explore.scenario =
+  ( "broken-sweep unfrozen chunk copy (expected violation)",
+    fun () ->
+      let t = Broken_sweep.create () in
+      ignore (Broken_sweep.insert t 1);
+      let applied = ref false in
+      let threads =
+        [|
+          (fun () -> Broken_sweep.resize_and_sweep_broken t);
+          (fun () -> applied := Broken_sweep.insert t 3);
+        |]
+      in
+      let verify () =
+        if !applied && not (Broken_sweep.contains t 3) then
+          Error
+            "insert 3 was applied, but the key is gone: the unfrozen chunk \
+             copy migrated the bucket before the update landed in the \
+             predecessor"
+        else Ok ()
+      in
+      (threads, verify) )

@@ -1,12 +1,19 @@
 (* Long-running soak harness (not part of `dune runtest`):
 
-     dune exec test/soak/soak.exe -- [seconds-per-table] [table ...]
+     dune exec test/soak/soak.exe -- [churn] [seconds-per-table] [table ...]
 
-   For each implementation: worker domains run a mixed workload with
-   per-key success ledgers while a dedicated domain storms resizes;
-   at the end the ledger equation and the structural invariants are
-   checked. Exit status is non-zero on any violation. Default: 10
-   seconds per table, all tables. *)
+   Default mode: worker domains run a mixed workload over a SHARED key
+   range with per-key success ledgers while a dedicated domain storms
+   resizes; at the end the ledger equation and the structural
+   invariants are checked.
+
+   `churn` mode: each worker owns a DISJOINT key range and tracks the
+   expected membership of every key it touched locally, so the final
+   membership is exact (not just ledger-consistent) however the
+   resize storm interleaves with the cooperative migration sweep.
+
+   Exit status is non-zero on any violation. Default: 10 seconds per
+   table, all tables. *)
 
 module Factory = Nbhash_workload.Factory
 
@@ -71,8 +78,88 @@ let soak_table name (maker : Factory.maker) ~seconds =
     stats.Nbhash.Hashset_intf.shrinks !violations;
   !violations = 0
 
+(* Disjoint-range churn: domain [d] owns keys [d*key_range ..
+   (d+1)*key_range) and is the only writer of them, so its local
+   [expected] array IS the truth for those keys at the end. The
+   stormer keeps the migration sweep permanently busy. *)
+let churn_table name (maker : Factory.maker) ~seconds =
+  Printf.printf "%-12s churning %.0fs ... %!" name seconds;
+  let table = maker ~policy:Nbhash.Policy.default ~max_threads:8 () in
+  let expected = Array.init domains (fun _ -> Array.make key_range false) in
+  let stop = Atomic.make false in
+  let total_ops = Atomic.make 0 in
+  let worker d () =
+    let ops = table.Factory.new_handle () in
+    let rng = Nbhash_util.Xoshiro.create (7000 + d) in
+    let base = d * key_range in
+    let n = ref 0 in
+    while not (Atomic.get stop) do
+      incr n;
+      let k = Nbhash_util.Xoshiro.below rng key_range in
+      if Nbhash_util.Xoshiro.below rng 2 = 0 then begin
+        ignore (ops.Factory.ins (base + k));
+        expected.(d).(k) <- true
+      end
+      else begin
+        ignore (ops.Factory.rem (base + k));
+        expected.(d).(k) <- false
+      end
+    done;
+    ignore (Atomic.fetch_and_add total_ops !n)
+  in
+  let stormer () =
+    let ops = table.Factory.new_handle () in
+    let i = ref 0 in
+    while not (Atomic.get stop) do
+      incr i;
+      ops.Factory.force_resize ~grow:(!i mod 2 = 0);
+      for _ = 1 to 1_000 do
+        Domain.cpu_relax ()
+      done
+    done
+  in
+  let ds =
+    Domain.spawn stormer :: List.init domains (fun d -> Domain.spawn (worker d))
+  in
+  Unix.sleepf seconds;
+  Atomic.set stop true;
+  List.iter Domain.join ds;
+  table.Factory.check_invariants ();
+  let final = table.Factory.elements () in
+  let mem k = Array.exists (fun x -> x = k) final in
+  let violations = ref 0 in
+  for d = 0 to domains - 1 do
+    for k = 0 to key_range - 1 do
+      if mem ((d * key_range) + k) <> expected.(d).(k) then begin
+        incr violations;
+        Printf.printf "\n  VIOLATION key %d: expected=%b mem=%b"
+          ((d * key_range) + k)
+          expected.(d).(k)
+          (mem ((d * key_range) + k))
+      end
+    done
+  done;
+  (* Nothing outside the owned ranges may ever appear. *)
+  Array.iter
+    (fun k ->
+      if k < 0 || k >= domains * key_range then begin
+        incr violations;
+        Printf.printf "\n  VIOLATION stray key %d" k
+      end)
+    final;
+  let stats = table.Factory.resize_stats () in
+  Printf.printf "%d ops, %d grows, %d shrinks, %d violations\n"
+    (Atomic.get total_ops) stats.Nbhash.Hashset_intf.grows
+    stats.Nbhash.Hashset_intf.shrinks !violations;
+  !violations = 0
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let run_table, args =
+    match args with
+    | "churn" :: rest -> (churn_table, rest)
+    | rest -> (soak_table, rest)
+  in
   let seconds, names =
     match args with
     | s :: rest when float_of_string_opt s <> None ->
@@ -93,7 +180,7 @@ let () =
         names
   in
   let ok =
-    List.for_all (fun (n, m) -> soak_table n m ~seconds) chosen
+    List.for_all (fun (n, m) -> run_table n m ~seconds) chosen
   in
   if ok then print_endline "soak passed"
   else begin

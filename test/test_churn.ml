@@ -1,0 +1,169 @@
+(* Multi-domain churn under grow/shrink storms, with the cooperative
+   sweep engaged (satellite of the sweep-engine work).
+
+   N worker domains update DISJOINT key ranges — so the exact final
+   membership is deterministic per domain whatever the interleaving —
+   while a trigger domain forces alternating grows and shrinks. After
+   the storm: structural invariants, exact final membership, sweep
+   participation in the telemetry, and the migration accounting
+   balance: one quiescent full migration must move every key exactly
+   once (keys_migrated == cardinal) while the sweep cursor hands out
+   every bucket index exactly once (sweep_buckets_migrated == bucket
+   count) — no key migrated twice into the same HNode, none lost. *)
+
+module Tm = Nbhash_telemetry.Global
+module Probe = Nbhash_telemetry.Probe
+module Event = Nbhash_telemetry.Event
+module Snapshot = Nbhash_telemetry.Snapshot
+
+let domains = 4
+let range = 256 (* keys per domain *)
+let rounds = 3
+
+(* Serialised with the other probe-installing suites via the ambient
+   probe being process-global: Alcotest runs cases sequentially. *)
+let with_probe f =
+  Fun.protect
+    ~finally:(fun () -> Tm.install Probe.noop)
+    (fun () ->
+      let p = Probe.recording () in
+      Tm.install p;
+      f p)
+
+(* Each domain inserts its whole range then removes the odd keys,
+   [rounds] times: the final state is exactly its even keys. *)
+let expected_final =
+  List.concat_map
+    (fun d ->
+      List.filter_map
+        (fun i -> if i land 1 = 0 then Some ((d * range) + i) else None)
+        (List.init range Fun.id))
+    (List.init domains Fun.id)
+
+let churn (module S : Nbhash.Hashset_intf.S) () =
+  with_probe (fun p ->
+      let t =
+        S.create
+          ~policy:{ Nbhash.Policy.default with init_buckets = 4 }
+          ~max_threads:(domains + 2) ()
+      in
+      let barrier = Atomic.make 0 in
+      let worker d () =
+        let h = S.register t in
+        Atomic.incr barrier;
+        while Atomic.get barrier < domains + 1 do
+          Domain.cpu_relax ()
+        done;
+        let base = d * range in
+        for _ = 1 to rounds do
+          for i = 0 to range - 1 do
+            ignore (S.insert h (base + i))
+          done;
+          for i = 0 to range - 1 do
+            if i land 1 = 1 then ignore (S.remove h (base + i))
+          done
+        done;
+        S.unregister h
+      in
+      let trigger () =
+        let h = S.register t in
+        Atomic.incr barrier;
+        while Atomic.get barrier < domains + 1 do
+          Domain.cpu_relax ()
+        done;
+        for i = 1 to 24 do
+          S.force_resize h ~grow:(i land 1 = 0);
+          for _ = 1 to 500 do
+            Domain.cpu_relax ()
+          done
+        done;
+        S.unregister h
+      in
+      let ds =
+        Domain.spawn trigger
+        :: List.init domains (fun d -> Domain.spawn (worker d))
+      in
+      List.iter Domain.join ds;
+      S.check_invariants t;
+      let final = List.sort compare (Array.to_list (S.elements t)) in
+      Alcotest.(check (list int))
+        "exact final membership over disjoint ranges" expected_final final;
+      let storm = Tm.snapshot () in
+      Alcotest.(check bool) "sweep chunks were claimed" true
+        (Snapshot.get storm Event.Sweep_chunk_claimed > 0);
+      Alcotest.(check bool) "sweep migrated buckets" true
+        (Snapshot.get storm Event.Sweep_buckets_migrated > 0);
+      (match Snapshot.span storm Event.Sweep_helpers with
+      | None -> Alcotest.fail "sweep participation histogram missing"
+      | Some s ->
+        Alcotest.(check bool) "participation observed per migration" true
+          (s.Nbhash_util.Stats.n > 0));
+      (* Accounting balance on a quiescent table. The first resize
+         completes whatever migration the storm left in flight; the
+         second then starts from a fresh all-nil head, so the sweep
+         must hand out every bucket index exactly once and the install
+         CASes must move every key exactly once. *)
+      let h = S.register t in
+      S.force_resize h ~grow:true;
+      Probe.reset p;
+      let buckets = S.bucket_count t in
+      let cardinal = S.cardinal t in
+      S.force_resize h ~grow:true;
+      S.unregister h;
+      let snap = Tm.snapshot () in
+      Alcotest.(check int) "keys_migrated == cardinal (none lost, none twice)"
+        cardinal
+        (Snapshot.get snap Event.Keys_migrated);
+      Alcotest.(check int) "sweep swept every bucket exactly once" buckets
+        (Snapshot.get snap Event.Sweep_buckets_migrated);
+      Alcotest.(check int) "every bucket installed exactly once" buckets
+        (Snapshot.get snap Event.Bucket_init);
+      Alcotest.(check int) "cardinal unchanged by migration" cardinal
+        (S.cardinal t))
+
+(* The same storm with the sweep disabled must agree on membership:
+   the lazy path alone remains correct (it is the backstop). *)
+let churn_lazy (module S : Nbhash.Hashset_intf.S) () =
+  let policy =
+    Nbhash.Policy.lazy_migration
+      { Nbhash.Policy.default with init_buckets = 4 }
+  in
+  let t = S.create ~policy ~max_threads:(domains + 2) () in
+  let ds =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let h = S.register t in
+            let base = d * range in
+            for _ = 1 to rounds do
+              for i = 0 to range - 1 do
+                ignore (S.insert h (base + i))
+              done;
+              for i = 0 to range - 1 do
+                if i land 1 = 1 then ignore (S.remove h (base + i))
+              done
+            done;
+            S.force_resize h ~grow:(d land 1 = 0);
+            S.unregister h))
+  in
+  List.iter Domain.join ds;
+  S.check_invariants t;
+  let final = List.sort compare (Array.to_list (S.elements t)) in
+  Alcotest.(check (list int))
+    "lazy-only membership matches" expected_final final
+
+let suite =
+  [
+    ( "churn",
+      [
+        Alcotest.test_case "sweep churn LFArray" `Quick
+          (churn (module Nbhash.Tables.LFArray));
+        Alcotest.test_case "sweep churn LFArrayOpt" `Quick
+          (churn (module Nbhash.Tables.LFArrayOpt));
+        Alcotest.test_case "sweep churn WFArray" `Quick
+          (churn (module Nbhash.Tables.WFArray));
+        Alcotest.test_case "sweep churn AdaptiveOpt" `Quick
+          (churn (module Nbhash.Tables.AdaptiveOpt));
+        Alcotest.test_case "lazy churn LFArrayOpt" `Quick
+          (churn_lazy (module Nbhash.Tables.LFArrayOpt));
+      ] );
+  ]

@@ -67,6 +67,58 @@ let test_random_trace () =
           Alcotest.failf "final contents of %s differ from %s" name ref_name)
     tables
 
+(* Eager-vs-lazy differential: every array-based variant runs TWICE —
+   once with the cooperative sweep on (default) and once with
+   [Policy.lazy_migration] so only the lazy [init_bucket] backstop
+   migrates — and the pair must agree on every response and on the
+   final contents. Resizes are interleaved often enough that most of
+   the trace runs against a partially migrated table. *)
+let test_eager_vs_lazy () =
+  let tables =
+    List.concat_map
+      (fun ((name, maker) : string * Factory.maker) ->
+        let eager =
+          maker ~policy:(Nbhash.Policy.presized 4) ~max_threads:4 ()
+        in
+        let lazy_ =
+          maker
+            ~policy:(Nbhash.Policy.lazy_migration (Nbhash.Policy.presized 4))
+            ~max_threads:4 ()
+        in
+        [
+          (name ^ "/eager", eager, eager.Factory.new_handle ());
+          (name ^ "/lazy", lazy_, lazy_.Factory.new_handle ());
+        ])
+      Factory.all_eight
+  in
+  let rng = Nbhash_util.Xoshiro.create 1717 in
+  for step = 1 to 3_000 do
+    let k = Nbhash_util.Xoshiro.below rng 64 in
+    let kind =
+      match Nbhash_util.Xoshiro.below rng 3 with
+      | 0 -> `Ins
+      | 1 -> `Rem
+      | _ -> `Look
+    in
+    apply_all tables kind k;
+    if step mod 97 = 0 then
+      List.iter
+        (fun (_, _, ops) -> ops.Factory.force_resize ~grow:(step mod 2 = 0))
+        tables
+  done;
+  let reference = ref None in
+  List.iter
+    (fun (name, table, _) ->
+      table.Factory.check_invariants ();
+      let sorted = table.Factory.elements () in
+      Array.sort compare sorted;
+      match !reference with
+      | None -> reference := Some (name, sorted)
+      | Some (ref_name, ref_elems) ->
+        if sorted <> ref_elems then
+          Alcotest.failf "final contents of %s differ from %s" name ref_name)
+    tables
+
 let test_edge_keys () =
   let tables = all_tables () in
   let keys = [ 0; 1; 2; (1 lsl 61) - 1; (1 lsl 61) - 2; 1 lsl 32 ] in
@@ -89,5 +141,7 @@ let suite =
           test_random_trace;
         Alcotest.test_case "edge keys, all implementations" `Quick
           test_edge_keys;
+        Alcotest.test_case "eager sweep vs lazy-only, all variants" `Quick
+          test_eager_vs_lazy;
       ] );
   ]

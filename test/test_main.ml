@@ -8,4 +8,5 @@ let () =
    @ Test_keyed.suite @ Test_generic.suite @ Test_differential.suite
    @ Test_ulist.suite @ Test_extend.suite @ Test_linearizability.suite
    @ Test_targeted.suite
-   @ Test_workload.suite @ Test_telemetry.suite @ Test_lint.suite)
+   @ Test_workload.suite @ Test_telemetry.suite @ Test_churn.suite
+   @ Test_lint.suite)

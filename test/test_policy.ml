@@ -40,17 +40,63 @@ let prop_no_oscillation =
       done;
       Policy.Trigger.flush l;
       let want_grow b =
-        Policy.Trigger.want_grow p shared ~cur_buckets:b
+        Policy.Trigger.want_grow p l ~cur_buckets:b ~migrating:false
           ~inserted_bucket_size:(fun () -> 0)
       in
       let want_shrink b =
-        Policy.Trigger.want_shrink p l ~cur_buckets:b
+        Policy.Trigger.want_shrink p l ~cur_buckets:b ~migrating:false
           ~sample_bucket_size:(fun _ -> 0)
       in
       let b = 1 lsl k in
       (not (want_grow b && want_shrink b))
       && ((not (want_grow b)) || not (want_shrink (2 * b)))
       && ((not (want_shrink b)) || not (want_grow (b / 2))))
+
+(* Regression for the trigger re-arm bug: a grow's decision count
+   includes deltas this handle has since compensated with pending (not
+   yet flushed) removes. Evaluating the grow trigger mid-migration on
+   the stale shared count used to re-fire a second grow sized for the
+   pre-resize table; with [~migrating:true] the pending deltas are
+   flushed first and the re-arm is suppressed. The pending delta (-7)
+   stays strictly below the flush threshold (8), so only the
+   migrating-flush can reconcile it. *)
+let test_flush_before_trigger_during_migration () =
+  let p =
+    { Policy.default with heuristic = Policy.Load_factor { grow = 6.0; shrink = 1.0 } }
+  in
+  let shared = Policy.Counter.make_shared () in
+  let filler = Policy.Trigger.make_local shared ~seed:1 in
+  for _ = 1 to 100 do
+    Policy.Trigger.note_insert filler ~resp:true
+  done;
+  Policy.Trigger.flush filler;
+  let l = Policy.Trigger.make_local shared ~seed:2 in
+  for _ = 1 to 7 do
+    Policy.Trigger.note_remove l ~resp:true
+  done;
+  (* True count is 93 = 100 shared - 7 pending; 6.0 * 16 buckets = 96.
+     The stale shared count (100) still clears the grow bar. *)
+  let want_grow ~migrating =
+    Policy.Trigger.want_grow p l ~cur_buckets:16 ~migrating
+      ~inserted_bucket_size:(fun () -> 0)
+  in
+  Alcotest.(check bool)
+    "stale count re-arms the trigger outside a migration" true
+    (want_grow ~migrating:false);
+  Alcotest.(check bool)
+    "flush-before-evaluate suppresses the re-arm mid-migration" false
+    (want_grow ~migrating:true);
+  Alcotest.(check int)
+    "pending deltas were folded into the shared count" 93
+    (Policy.Counter.approx shared)
+
+let test_migration_knob_valid () =
+  Policy.validate (Policy.lazy_migration Policy.default);
+  Alcotest.(check bool)
+    "lazy_migration turns the sweep off" false
+    (Policy.lazy_migration Policy.default).Policy.migration.Policy.eager;
+  Alcotest.(check bool)
+    "default sweeps eagerly" true Policy.default.Policy.migration.Policy.eager
 
 let suite =
   [
@@ -101,6 +147,19 @@ let suite =
             Policy.default with
             heuristic = Policy.Load_factor { grow = 2.0; shrink = 1.5 };
           };
+        expect_invalid "zero migration chunk"
+          {
+            Policy.default with
+            migration = { Policy.default_migration with chunk = 0 };
+          };
+        expect_invalid "zero migration helpers"
+          {
+            Policy.default with
+            migration = { Policy.default_migration with max_helpers = 0 };
+          };
+        Alcotest.test_case "migration knob" `Quick test_migration_knob_valid;
+        Alcotest.test_case "flush before trigger during migration" `Quick
+          test_flush_before_trigger_during_migration;
         QCheck_alcotest.to_alcotest prop_no_oscillation;
       ] );
   ]
