@@ -9,6 +9,9 @@
      --smoke       seconds-scale parameters (CI sanity; overrides --full)
      --telemetry   install a recording probe; print per-impl event tables
      --json PATH   write machine-readable results (implies --telemetry)
+     --trace PATH  install a flight-recorder ring and write the churn
+                   section's merged trace as Chrome trace-event JSON
+                   (open in Perfetto / chrome://tracing)
 
    Throughputs are reported in operations per microsecond, as in the
    paper's charts. Absolute numbers are not comparable to the paper's
@@ -26,6 +29,7 @@ let full = ref false
 let smoke = ref false
 let telemetry = ref false
 let json_path = ref None
+let trace_path = ref None
 
 (* --- machine-readable trajectory (--json) --- *)
 
@@ -52,6 +56,46 @@ let emit_json ~exp ~impl ~params ~ops_per_usec ~telemetry =
       :: !json_results
   end
 
+(* Provenance of a bench file: without it there is no telling which
+   machine or commit produced a checked-in BENCH_*.json. Every value is
+   best-effort — a missing git binary must not fail a benchmark. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' | '\r' | '\t' -> Buffer.add_char b ' '
+      | c when Char.code c < 0x20 -> ()
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "unknown" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> line
+    | _ -> "unknown")
+  with _ -> "unknown"
+
+let iso_timestamp () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let meta_json () =
+  Printf.sprintf
+    "{\"git_rev\":\"%s\",\"domains\":%d,\"ocaml\":\"%s\",\"hostname\":\"%s\",\"timestamp\":\"%s\"}"
+    (json_escape (git_rev ()))
+    (Domain.recommended_domain_count ())
+    (json_escape Sys.ocaml_version)
+    (json_escape (try Unix.gethostname () with _ -> "unknown"))
+    (iso_timestamp ())
+
 let write_json () =
   match !json_path with
   | None -> ()
@@ -61,10 +105,23 @@ let write_json () =
       ~finally:(fun () -> close_out oc)
       (fun () ->
         Printf.fprintf oc
-          "{\"schema\":\"nbhash-bench-v1\",\"mode\":\"%s\",\"results\":[%s]}\n"
+          "{\"schema\":\"nbhash-bench-v2\",\"mode\":\"%s\",\"meta\":%s,\"results\":[%s]}\n"
           (if !smoke then "smoke" else if !full then "full" else "quick")
+          (meta_json ())
           (String.concat ",\n" (List.rev !json_results)));
     Printf.printf "\nwrote %d results to %s\n" (List.length !json_results) path
+
+let write_trace () =
+  match (!trace_path, Nbhash_telemetry.Trace.active ()) with
+  | Some path, Some tr ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Nbhash_telemetry.Trace.write_chrome oc tr);
+    Printf.printf "wrote %d trace records to %s (open in Perfetto)\n"
+      (Array.length (Nbhash_telemetry.Trace.records tr))
+      path
+  | _ -> ()
 
 (* --- per-table telemetry accumulated under --telemetry --- *)
 
@@ -656,6 +713,13 @@ let latency_bench () =
 let churn_bench () =
   Report.print_heading
     "C1: grow/shrink churn - per-op latency, eager sweep vs lazy-only [ns]";
+  (* Scope an installed flight recorder to this section: the trace
+     written at exit then covers the churn arms (the most temporally
+     interesting part of the suite — resize windows, sweeps, freezes,
+     and worker updates interleaving). *)
+  (match Nbhash_telemetry.Trace.active () with
+  | Some tr -> Nbhash_telemetry.Trace.clear tr
+  | None -> ());
   let workers = 4 in
   let key_range = 1 lsl 17 in
   let duration = if !smoke then 0.8 else if !full then 4.0 else 2.0 in
@@ -696,10 +760,13 @@ let churn_bench () =
       let n = ref 0 in
       while (not (Atomic.get stop)) && !n < cap do
         let k = Nbhash_util.Xoshiro.below rng key_range in
-        let t0 = Monotonic_clock.now () in
+        (* The repo-wide clock (also behind probe spans and trace
+           records), so a latency outlier here can be lined up against
+           the flight-recorder stream on the same time axis. *)
+        let t0 = Nbhash_util.Clock.now_ns () in
         (if Nbhash_util.Xoshiro.below rng 2 = 0 then ignore (ops.Factory.ins k)
          else ignore (ops.Factory.rem k));
-        a.(!n) <- Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0);
+        a.(!n) <- float_of_int (Nbhash_util.Clock.now_ns () - t0);
         incr n
       done;
       counts.(d) <- !n;
@@ -824,6 +891,12 @@ let () =
     | [ "--json" ] ->
       prerr_endline "--json requires a path";
       exit 1
+    | "--trace" :: path :: rest ->
+      trace_path := Some path;
+      parse acc rest
+    | [ "--trace" ] ->
+      prerr_endline "--trace requires a path";
+      exit 1
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] (List.tl (Array.to_list Sys.argv)) in
@@ -831,6 +904,9 @@ let () =
   if !json_path <> None then telemetry := true;
   if !telemetry then
     Nbhash_telemetry.Global.install (Nbhash_telemetry.Probe.recording ());
+  if !trace_path <> None then
+    Nbhash_telemetry.Trace.install
+      (Nbhash_telemetry.Trace.create ~lanes:64 ~capacity:(1 lsl 14) ());
   let chosen =
     match args with
     | [] | [ "all" ] -> List.map fst sections
@@ -848,4 +924,5 @@ let () =
           (String.concat ", " (List.map fst sections));
         exit 1)
     chosen;
-  write_json ()
+  write_json ();
+  write_trace ()

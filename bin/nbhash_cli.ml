@@ -3,12 +3,15 @@
      nbhash_cli run   --table LFArray --threads 4 --range 16 --lookup 0.9
      nbhash_cli sweep --threads 1,2,4 --range 16 --lookup 0.34
      nbhash_cli stats --table WFArray --threads 2
+     nbhash_cli trace --table WFArray --threads 2 -o trace.json
      nbhash_cli list
 
    `run` measures one configuration; `sweep` prints one row per
    implementation across a list of thread counts; `stats` runs one
    configuration under a recording telemetry probe and prints the
-   event counters; `list` names the available implementations. *)
+   event counters; `trace` runs one configuration under the flight
+   recorder and writes a Perfetto-loadable Chrome trace; `list` names
+   the available implementations. *)
 
 open Cmdliner
 module Factory = Nbhash_workload.Factory
@@ -206,6 +209,58 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Measure one implementation with telemetry.")
     term
 
+let trace_cmd =
+  (* One measured run with the flight recorder installed; the Runner
+     clears the rings at the measurement barrier, so the written trace
+     covers the measurement window. *)
+  let trace table threads_list range_bits lookup duration presized seed out
+      tail =
+    validate_table table;
+    let tr = Nbhash_telemetry.Trace.create ~lanes:64 ~capacity:(1 lsl 14) () in
+    Nbhash_telemetry.Trace.install tr;
+    List.iter
+      (fun threads ->
+        let last, _ =
+          measure table ~threads ~range_bits ~lookup ~duration ~trials:1
+            ~presized ~seed
+        in
+        Printf.printf "%s T=%d range=2^%d L=%.0f%%: %.3f ops/usec\n" table
+          threads range_bits (lookup *. 100.) last.Runner.throughput)
+      threads_list;
+    let records = Nbhash_telemetry.Trace.records tr in
+    Printf.printf "captured %d trace records (%d written)\n"
+      (Array.length records)
+      (Nbhash_telemetry.Trace.written tr);
+    if tail > 0 then
+      Nbhash_telemetry.Trace.dump_tail ~n:tail Format.std_formatter tr;
+    (match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Nbhash_telemetry.Trace.write_chrome oc tr);
+      Printf.printf "wrote %s — open it at https://ui.perfetto.dev\n" path)
+  in
+  let out_arg =
+    let doc = "Write the merged trace as Chrome trace-event JSON to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "o"; "out" ] ~docv:"PATH" ~doc)
+  in
+  let tail_arg =
+    let doc = "Print the newest $(docv) merged records after the run." in
+    Arg.(value & opt int 0 & info [ "tail" ] ~docv:"N" ~doc)
+  in
+  let term =
+    Term.(
+      const trace $ table_arg $ threads_list_arg $ range_arg $ lookup_arg
+      $ duration_arg $ presized_arg $ seed_arg $ out_arg $ tail_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Measure one implementation under the flight recorder.")
+    term
+
 let list_cmd =
   let list () = List.iter print_endline table_names in
   Cmd.v
@@ -217,4 +272,5 @@ let () =
   let info = Cmd.info "nbhash_cli" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; sweep_cmd; hist_cmd; stats_cmd; list_cmd ]))
+       (Cmd.group info
+          [ run_cmd; sweep_cmd; hist_cmd; stats_cmd; trace_cmd; list_cmd ]))

@@ -35,7 +35,7 @@ module Make (E : Elems.S) : Fset_intf.S = struct
           true
         end
         else begin
-          Tm.emit Ev.Cas_retry;
+          Tm.emit_arg Ev.Cas_retry op.key;
           invoke t op
         end
       | Fset_intf.Rem ->
@@ -47,7 +47,7 @@ module Make (E : Elems.S) : Fset_intf.S = struct
           true
         end
         else begin
-          Tm.emit Ev.Cas_retry;
+          Tm.emit_arg Ev.Cas_retry op.key;
           invoke t op
         end
     end

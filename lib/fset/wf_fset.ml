@@ -99,7 +99,7 @@ module Make (E : Elems.S) : Fset_intf.WF = struct
               true
             end
             else begin
-              Tm.emit Ev.Cas_retry;
+              Tm.emit_arg Ev.Cas_retry (op_key op);
               invoke t op
             end
           | Frozen -> op_is_done op

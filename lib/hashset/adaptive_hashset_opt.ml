@@ -219,7 +219,7 @@ let init_bucket hn i =
     in
     if Atomic.compare_and_set hn.buckets.(i) Uninit (fresh_node elems)
     then begin
-      Tm.emit Ev.Bucket_init;
+      Tm.emit_arg Ev.Bucket_init i;
       Tm.add Ev.Keys_migrated (Array.length elems)
     end
   | (N _ | Uninit), _ -> ());
@@ -250,7 +250,7 @@ let resize t grow =
     else hn.size / 2 >= t.policy.Policy.min_buckets
   in
   if (hn.size > 1 || grow) && within_bounds then begin
-    let start_ns = Tm.now_ns () in
+    let start_ns = Tm.span_begin Ev.Resize_span in
     let m = t.policy.Policy.migration in
     if m.Policy.eager && Atomic.get hn.pred <> None then
       Sweep.drain hn.sweep ~chunk:m.Policy.chunk ~migrate:(sweep_migrate hn)
@@ -264,9 +264,10 @@ let resize t grow =
     let hn' = make_hnode ~size ~pred:(Some hn) in
     if Atomic.compare_and_set t.head hn hn' then begin
       ignore (Atomic.fetch_and_add (if grow then t.grows else t.shrinks) 1);
-      Tm.emit (if grow then Ev.Resize_grow else Ev.Resize_shrink);
+      Tm.emit_arg (if grow then Ev.Resize_grow else Ev.Resize_shrink) size;
       Tm.record_span Ev.Resize_span ~start_ns
     end
+    else Tm.span_abort Ev.Resize_span
   end
 
 (* --- Announce-and-help (Figure 4) and the fast path. --- *)
@@ -284,10 +285,21 @@ let help_up_to t ~prio =
   for tid = 0 to Array.length t.slots - 1 do
     let op = Atomic.get t.slots.(tid) in
     if Atomic.get op.prio <= prio then begin
-      if not (op_is_done op) then Tm.emit Ev.Help_op;
+      if not (op_is_done op) then Tm.emit_arg Ev.Help_op tid;
       drive t op
     end
   done
+
+(* Announce-array snapshot for the liveness watchdog; see
+   Wf_common.announced. *)
+let pending_ops t =
+  let out = ref [] in
+  for tid = Array.length t.slots - 1 downto 0 do
+    let op = Atomic.get t.slots.(tid) in
+    let p = Atomic.get op.prio in
+    if p <> infinity_prio && not (op_is_done op) then out := (tid, p) :: !out
+  done;
+  Array.of_list !out
 
 let help_lowest t =
   let best = ref None in
@@ -308,8 +320,8 @@ let help_lowest t =
 
 let slow_apply h kind k =
   let t = h.table in
-  Tm.emit Ev.Slowpath_entry;
-  let start_ns = Tm.now_ns () in
+  Tm.emit_arg Ev.Slowpath_entry k;
+  let start_ns = Tm.span_begin Ev.Slowpath_span in
   let prio = Atomic.fetch_and_add t.counter 1 in
   let myop = make_op kind k ~prio in
   Atomic.set t.slots.(h.tid) myop;
@@ -390,7 +402,7 @@ let contains h k =
   match Atomic.get hn.buckets.(k land hn.mask) with
   | N _ -> slot_member hn.buckets.(k land hn.mask) k
   | Uninit -> (
-    Tm.emit Ev.Contains_pred;
+    Tm.emit_arg Ev.Contains_pred k;
     match Atomic.get hn.pred with
     | Some s -> slot_member s.buckets.(k land s.mask) k
     | None -> slot_member hn.buckets.(k land hn.mask) k)

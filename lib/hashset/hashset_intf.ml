@@ -65,6 +65,15 @@ module type S = sig
   val check_invariants : t -> unit
   (** Validate structural invariants (quiescent states only); raises
       [Failure] with a description on violation. For tests. *)
+
+  val pending_ops : t -> (int * int) array
+  (** Announced-but-incomplete operations as [(tid, priority)] pairs —
+      the liveness signal sampled by [Nbhash_telemetry.Watchdog].
+      Priorities are unique per operation, so the same pair persisting
+      across samples identifies one stuck operation. Racy (may include
+      an operation that completes concurrently). [[||]] for
+      implementations without announce arrays, which make no helping
+      promise the watchdog could check. *)
 end
 
 let check_key k =

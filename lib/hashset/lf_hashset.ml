@@ -34,7 +34,7 @@ module Make (F : Nbhash_fset.Fset_intf.S) : Hashset_intf.S = struct
     if F.invoke b op then F.get_response op
     else begin
       (* The bucket froze under us: a resize is being absorbed. *)
-      Tm.emit Ev.Cas_retry;
+      Tm.emit_arg Ev.Cas_retry k;
       apply t op k
     end
 
@@ -61,4 +61,5 @@ module Make (F : Nbhash_fset.Fset_intf.S) : Hashset_intf.S = struct
   let cardinal = Core.cardinal
   let elements = Core.elements
   let check_invariants = Core.check_invariants
+  let pending_ops _ = [||]
 end

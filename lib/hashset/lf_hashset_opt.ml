@@ -82,6 +82,8 @@ let rec freeze_slot slot =
       freeze_slot slot
     end
 
+let pending_ops _ = [||]
+
 let bucket_elems slot =
   match Atomic.get slot with Uninit -> assert false | Node n -> n.elems
 
@@ -102,7 +104,7 @@ let init_bucket hn i =
     if
       Atomic.compare_and_set hn.buckets.(i) Uninit (Node { elems; ok = true })
     then begin
-      Tm.emit Ev.Bucket_init;
+      Tm.emit_arg Ev.Bucket_init i;
       Tm.add Ev.Keys_migrated (Array.length elems)
     end
   | (Node _ | Uninit), _ -> ());
@@ -127,7 +129,7 @@ let resize t grow =
     else hn.size / 2 >= t.policy.Policy.min_buckets
   in
   if (hn.size > 1 || grow) && within_bounds then begin
-    let start_ns = Tm.now_ns () in
+    let start_ns = Tm.span_begin Ev.Resize_span in
     let m = t.policy.Policy.migration in
     if m.Policy.eager && Atomic.get hn.pred <> None then
       Sweep.drain hn.sweep ~chunk:m.Policy.chunk ~migrate:(sweep_migrate hn)
@@ -141,9 +143,10 @@ let resize t grow =
     let hn' = make_hnode ~size ~pred:(Some hn) in
     if Atomic.compare_and_set t.head hn hn' then begin
       ignore (Atomic.fetch_and_add (if grow then t.grows else t.shrinks) 1);
-      Tm.emit (if grow then Ev.Resize_grow else Ev.Resize_shrink);
+      Tm.emit_arg (if grow then Ev.Resize_grow else Ev.Resize_shrink) size;
       Tm.record_span Ev.Resize_span ~start_ns
     end
+    else Tm.span_abort Ev.Resize_span
   end
 
 (* APPLY with the FSet INVOKE inlined against the slot: a frozen node
@@ -160,7 +163,7 @@ let rec run_op t kind k =
     run_op t kind k
   | Node n as cur ->
     if not n.ok then begin
-      Tm.emit Ev.Cas_retry;
+      Tm.emit_arg Ev.Cas_retry k;
       run_op t kind k
     end
     else begin
@@ -173,7 +176,7 @@ let rec run_op t kind k =
             (Node { elems = Intset.add n.elems k; ok = true })
         then true
         else begin
-          Tm.emit Ev.Cas_retry;
+          Tm.emit_arg Ev.Cas_retry k;
           run_op t kind k
         end
       | Nbhash_fset.Fset_intf.Rem ->
@@ -183,7 +186,7 @@ let rec run_op t kind k =
             (Node { elems = Intset.remove n.elems k; ok = true })
         then true
         else begin
-          Tm.emit Ev.Cas_retry;
+          Tm.emit_arg Ev.Cas_retry k;
           run_op t kind k
         end
     end
@@ -232,7 +235,7 @@ let contains h k =
   match Atomic.get hn.buckets.(k land hn.mask) with
   | Node n -> Intset.mem n.elems k
   | Uninit ->
-    Tm.emit Ev.Contains_pred;
+    Tm.emit_arg Ev.Contains_pred k;
     let elems =
       match Atomic.get hn.pred with
       | Some s -> bucket_elems s.buckets.(k land s.mask)

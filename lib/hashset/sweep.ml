@@ -96,9 +96,9 @@ let claim_chunk t ~chunk ~migrate ~on_complete =
   if start >= t.total then false
   else begin
     let stop = min t.total (start + chunk) in
-    Tm.emit Ev.Sweep_chunk_claimed;
+    Tm.emit_arg Ev.Sweep_chunk_claimed start;
     note_claimer t;
-    let start_ns = Tm.now_ns () in
+    let start_ns = Tm.span_begin Ev.Sweep_span in
     for i = start to stop - 1 do
       migrate i
     done;

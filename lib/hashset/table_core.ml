@@ -91,7 +91,7 @@ module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
         (* Only the installing thread accounts the migration, so the
            keys_migrated total equals the table cardinality after one
            full migration even when helpers race. *)
-        Tm.emit Ev.Bucket_init;
+        Tm.emit_arg Ev.Bucket_init i;
         Tm.add Ev.Keys_migrated (Array.length elems)
       end
     | (Some _ | None), _ -> ());
@@ -146,7 +146,7 @@ module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
       else hn.size / 2 >= t.policy.Policy.min_buckets
     in
     if (hn.size > 1 || grow) && within_bounds then begin
-      let start_ns = Tm.now_ns () in
+      let start_ns = Tm.span_begin Ev.Resize_span in
       let m = t.policy.Policy.migration in
       if m.Policy.eager && Atomic.get hn.pred <> None then
         Sweep.drain hn.sweep ~chunk:m.Policy.chunk
@@ -161,9 +161,14 @@ module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
       if Atomic.compare_and_set t.head hn hn' then begin
         ignore
           (Atomic.fetch_and_add (if grow then t.grows else t.shrinks) 1);
-        Tm.emit (if grow then Ev.Resize_grow else Ev.Resize_shrink);
+        Tm.emit_arg (if grow then Ev.Resize_grow else Ev.Resize_shrink) size;
         Tm.record_span Ev.Resize_span ~start_ns
       end
+      else
+        (* Lost the head CAS: the migration work still happened, but
+           this was not a resize — balance the trace span without an
+           observation. *)
+        Tm.span_abort Ev.Resize_span
     end
 
   (* CONTAINS: search the head bucket; if it is uninitialized, search
@@ -175,7 +180,7 @@ module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
     match Atomic.get hn.buckets.(k land hn.mask) with
     | Some b -> F.has_member b k
     | None ->
-      Tm.emit Ev.Contains_pred;
+      Tm.emit_arg Ev.Contains_pred k;
       let b =
         match Atomic.get hn.pred with
         | Some s -> pred_bucket s (k land s.mask)

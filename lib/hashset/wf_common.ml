@@ -80,7 +80,7 @@ module Make (F : Nbhash_fset.Fset_intf.WF) = struct
     for tid = 0 to Array.length t.slots - 1 do
       let op = Atomic.get t.slots.(tid) in
       if F.op_prio op <= prio then begin
-        if not (F.op_is_done op) then Tm.emit Ev.Help_op;
+        if not (F.op_is_done op) then Tm.emit_arg Ev.Help_op tid;
         drive t op
       end
     done
@@ -109,8 +109,8 @@ module Make (F : Nbhash_fset.Fset_intf.WF) = struct
      read own response. *)
   let slow_apply h kind k =
     let t = h.table in
-    Tm.emit Ev.Slowpath_entry;
-    let start_ns = Tm.now_ns () in
+    Tm.emit_arg Ev.Slowpath_entry k;
+    let start_ns = Tm.span_begin Ev.Slowpath_span in
     let prio = Atomic.fetch_and_add t.counter 1 in
     let myop = F.make_op kind k ~prio in
     Atomic.set t.slots.(h.tid) myop;
@@ -118,6 +118,22 @@ module Make (F : Nbhash_fset.Fset_intf.WF) = struct
     let resp = F.get_response myop in
     Tm.record_span Ev.Slowpath_span ~start_ns;
     resp
+
+  (* Snapshot of the announce array for the liveness watchdog: every
+     announced-but-incomplete operation as (tid, priority). Priorities
+     are unique per operation (the bakery counter), so the same pair
+     persisting across polls means one specific operation is stuck —
+     exactly what the helping protocol is supposed to preclude. Racy
+     by design; see Watchdog. *)
+  let announced t =
+    let out = ref [] in
+    for tid = Array.length t.slots - 1 downto 0 do
+      let op = Atomic.get t.slots.(tid) in
+      let p = F.op_prio op in
+      if p <> F.infinity_prio && not (F.op_is_done op) then
+        out := (tid, p) :: !out
+    done;
+    Array.of_list !out
 
   (* Policy triggers, identical in shape to the lock-free table's.
      These hooks also run the cooperative migration sweep (DESIGN.md

@@ -73,6 +73,12 @@ let all =
     Sweep_buckets_migrated;
   ]
 
+(* Inverse of [index]; total on [0, count). The trace-ring decoder
+   turns stored record codes back into constructors through this. *)
+let of_index =
+  let by_index = Array.of_list all in
+  fun i -> by_index.(i)
+
 (** Histogram-valued events. The [_span] constructors are
     duration-valued (nanoseconds, recorded via [Probe.record_span]);
     [Sweep_helpers] is a raw-value histogram (recorded via
@@ -96,3 +102,8 @@ let span_to_string = function
   | Sweep_helpers -> "sweep_helpers"
 
 let all_spans = [ Resize_span; Slowpath_span; Sweep_span; Sweep_helpers ]
+
+(* Inverse of [span_index]; total on [0, span_count). *)
+let span_of_index =
+  let by_index = Array.of_list all_spans in
+  fun i -> by_index.(i)

@@ -15,11 +15,15 @@ let get () = Atomic.get current
 let is_recording () = Probe.is_recording (Atomic.get current)
 
 let[@inline] emit ev = Probe.emit (Atomic.get current) ev
+let[@inline] emit_arg ev arg = Probe.emit_arg (Atomic.get current) ev arg
 let[@inline] add ev n = Probe.add (Atomic.get current) ev n
 let[@inline] now_ns () = Probe.now_ns (Atomic.get current)
+let[@inline] span_begin s = Probe.span_begin (Atomic.get current) s
 
 let[@inline] record_span s ~start_ns =
   Probe.record_span (Atomic.get current) s ~start_ns
+
+let[@inline] span_abort s = Probe.span_abort s
 
 let[@inline] observe s v = Probe.observe (Atomic.get current) s v
 

@@ -4,7 +4,13 @@
    a single pattern match that falls through to [()] — no atomic
    write, no clock read, no allocation — so instrumentation can stay
    in the hot paths permanently. [Recording] routes counters into
-   domain-sharded lanes and spans into sharded log2 histograms. *)
+   domain-sharded lanes and spans into sharded log2 histograms.
+
+   Every entry point also forwards to the flight recorder ([Trace])
+   before consulting the probe, so the same instrumentation sites feed
+   both the aggregate view (this module) and the temporal one, and
+   each can be switched on independently. With neither active, a site
+   costs two loads and two branches. *)
 
 type recorder = {
   counters : Counters.t;
@@ -25,22 +31,45 @@ let recording ?shards () =
 let is_recording = function Noop -> false | Recording _ -> true
 
 let[@inline] emit p ev =
+  Trace.instant ev 0;
+  match p with Noop -> () | Recording r -> Counters.incr r.counters ev
+
+(* [emit] with an event-specific argument for the trace record (a key,
+   an index); the counter side is identical. *)
+let[@inline] emit_arg p ev arg =
+  Trace.instant ev arg;
   match p with Noop -> () | Recording r -> Counters.incr r.counters ev
 
 let[@inline] add p ev n =
+  Trace.instant ev n;
   match p with Noop -> () | Recording r -> Counters.add r.counters ev n
 
-(* Monotonic-enough clock for duration spans; only read while
-   recording, so the Noop path never pays for it. *)
-let clock_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+(* The repo-wide clock (Nbhash_util.Clock): probe spans, trace records
+   and the bench's latency samples all share its origin and units. *)
+let clock_ns = Nbhash_util.Clock.now_ns
 
 let[@inline] now_ns p = match p with Noop -> 0 | Recording _ -> clock_ns ()
 
+(* Open a duration span: a trace Begin record plus, when recording,
+   the histogram start timestamp (0 otherwise — [record_span] with a
+   Noop probe ignores it). Must be closed by [record_span] or
+   [span_abort] on the same domain. *)
+let[@inline] span_begin p s =
+  Trace.span_begin s;
+  match p with Noop -> 0 | Recording _ -> clock_ns ()
+
 let[@inline] record_span p s ~start_ns =
+  Trace.span_end s;
   match p with
   | Noop -> ()
   | Recording r ->
     Histogram.observe r.spans.(Event.span_index s) (clock_ns () - start_ns)
+
+(* Close a span without a histogram observation: the bracketed attempt
+   did not run to completion (e.g. a resize whose head CAS lost), so
+   its duration would pollute the distribution, but the trace Begin
+   still needs balancing. *)
+let[@inline] span_abort s = Trace.span_end s
 
 (* Raw-value histogram observation, for span-typed events that are not
    durations (e.g. [Event.Sweep_helpers] participation counts). *)

@@ -1,0 +1,312 @@
+(* The flight recorder: per-domain ring buffers of fixed-size trace
+   records, the merger that turns them into one time-sorted stream,
+   and the Chrome trace-event exporter.
+
+   Counters and histograms (Probe) answer *how much*; these rings
+   answer *when* and *in what order* — a freeze racing an update, a
+   resize overlapping a sweep, a helper finishing someone else's
+   operation. The write path is deliberately weaker than the rest of
+   the telemetry layer: a record is four plain [int] stores into a
+   lane selected by the writing domain's id, with a non-atomic
+   position bump. No CAS, no fences, overwrite-oldest on wrap. If two
+   domains ever share a lane (domain ids are assigned modulo the lane
+   count) they may tear or overwrite each other's records — the
+   decoder skips anything that does not parse, so the recorder is
+   best-effort by construction and never perturbs the algorithms it
+   observes beyond one load-and-branch when disabled.
+
+   Draining ([records], [to_chrome_string]) reads the rings without
+   synchronization; call it while the writers are quiescent (bench
+   does, after joining its domains) or accept a torn record at each
+   lane's write frontier. *)
+
+module Atomic = Nbhash_util.Nb_atomic
+
+(* One record = [words_per_record] consecutive ints: timestamp (ns,
+   from Nbhash_util.Clock — the same clock as probe spans and bench
+   latencies), operation code, argument, writing domain id. *)
+let words_per_record = 4
+
+type lane = { buf : int array; mutable pos : int (* total writes, monotonic *) }
+
+type t = {
+  lanes : lane array;
+  lane_mask : int;
+  capacity : int;  (* records per lane, a power of two *)
+  cap_mask : int;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(lanes = 16) ?(capacity = 4096) () =
+  if lanes < 1 then invalid_arg "Trace.create: lanes < 1";
+  if capacity < 2 then invalid_arg "Trace.create: capacity < 2";
+  let lanes = next_pow2 lanes and capacity = next_pow2 capacity in
+  {
+    lanes =
+      Array.init lanes (fun _ ->
+          { buf = Array.make (capacity * words_per_record) 0; pos = 0 });
+    lane_mask = lanes - 1;
+    capacity;
+    cap_mask = capacity - 1;
+  }
+
+let clear t =
+  Array.iter
+    (fun lane ->
+      lane.pos <- 0;
+      Array.fill lane.buf 0 (Array.length lane.buf) 0)
+    t.lanes
+
+(* The ambient sink, mirroring [Global]'s ambient probe. Hot paths go
+   through [Real] deliberately: a trace read must not become a
+   scheduling point under the model checker ([Nbhash_check] explores
+   shimmed operations only), and the recorder has no correctness story
+   to check — it is observation, not algorithm. *)
+let current : t option Atomic.t = Atomic.make None
+
+let install t = Atomic.Real.set current (Some t)
+let uninstall () = Atomic.Real.set current None
+let active () = Atomic.Real.get current
+
+(* Record codes. 0 is reserved so that never-written slots (and the
+   zeroed slots after [clear]) decode as invalid. *)
+let code_instant ev = 1 + Event.index ev
+let code_begin s = 64 + Event.span_index s
+let code_end s = 128 + Event.span_index s
+
+let[@inline] write t code arg =
+  let d = (Domain.self () :> int) in
+  let lane = t.lanes.(d land t.lane_mask) in
+  let p = lane.pos in
+  lane.pos <- p + 1;
+  let base = (p land t.cap_mask) * words_per_record in
+  let buf = lane.buf in
+  buf.(base) <- Nbhash_util.Clock.now_ns ();
+  buf.(base + 1) <- code;
+  buf.(base + 2) <- arg;
+  buf.(base + 3) <- d
+
+(* The three emitters the instrumentation sites use, via [Probe] /
+   [Global]. Disabled path: one load, one branch, no allocation. *)
+
+let[@inline] instant ev arg =
+  match Atomic.Real.get current with
+  | None -> ()
+  | Some t -> write t (code_instant ev) arg
+
+let[@inline] span_begin s =
+  match Atomic.Real.get current with
+  | None -> ()
+  | Some t -> write t (code_begin s) 0
+
+let[@inline] span_end s =
+  match Atomic.Real.get current with
+  | None -> ()
+  | Some t -> write t (code_end s) 0
+
+(* ------------------------------------------------------------------ *)
+(* Draining and merging.                                              *)
+
+type phase = Instant | Begin | End
+type point = Counter of Event.t | Span of Event.span
+
+type record = {
+  ts_ns : int;
+  domain : int;
+  seq : int;  (* absolute position in the writing lane; merge tiebreak *)
+  phase : phase;
+  point : point;
+  arg : int;
+}
+
+(* Span display names drop the unit suffix of the histogram key:
+   "resize_ns" names a histogram, but the track slice is "resize". *)
+let span_label s =
+  let n = Event.span_to_string s in
+  if Filename.check_suffix n "_ns" then Filename.chop_suffix n "_ns" else n
+
+let point_name = function
+  | Counter ev -> Event.to_string ev
+  | Span s -> span_label s
+
+let decode_code code =
+  if code >= 1 && code <= Event.count then
+    Some (Instant, Counter (Event.of_index (code - 1)))
+  else if code >= 64 && code < 64 + Event.span_count then
+    Some (Begin, Span (Event.span_of_index (code - 64)))
+  else if code >= 128 && code < 128 + Event.span_count then
+    Some (End, Span (Event.span_of_index (code - 128)))
+  else None
+
+let written t = Array.fold_left (fun acc lane -> acc + lane.pos) 0 t.lanes
+
+(* Newest surviving records of one lane, oldest first. *)
+let lane_records t lane =
+  let total = lane.pos in
+  let n = min total t.capacity in
+  let first = total - n in
+  let out = ref [] in
+  for j = n - 1 downto 0 do
+    let p = first + j in
+    let base = (p land t.cap_mask) * words_per_record in
+    match decode_code lane.buf.(base + 1) with
+    | None -> ()  (* torn or never-completed record *)
+    | Some (phase, point) ->
+      out :=
+        {
+          ts_ns = lane.buf.(base);
+          domain = lane.buf.(base + 3);
+          seq = p;
+          phase;
+          point;
+          arg = lane.buf.(base + 2);
+        }
+        :: !out
+  done;
+  !out
+
+(* All surviving records of all lanes, globally sorted by timestamp
+   (ties broken by lane position, preserving per-domain program
+   order — a domain always writes to the same lane). *)
+let records t =
+  let all =
+    Array.to_list t.lanes |> List.concat_map (lane_records t) |> Array.of_list
+  in
+  Array.sort
+    (fun a b ->
+      match compare a.ts_ns b.ts_ns with 0 -> compare a.seq b.seq | c -> c)
+    all;
+  all
+
+(* Timestamp of each non-empty lane's most recent record, for the
+   watchdog's per-domain staleness check. *)
+let lane_last_ts t =
+  let out = ref [] in
+  Array.iteri
+    (fun i lane ->
+      if lane.pos > 0 then begin
+        let base = ((lane.pos - 1) land t.cap_mask) * words_per_record in
+        out := (i, lane.buf.(base)) :: !out
+      end)
+    t.lanes;
+  Array.of_list (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export (the JSON Array Format of the Trace Event
+   spec, as consumed by Perfetto and chrome://tracing). Hand-encoded
+   like [Snapshot.to_json]: every name below is a fixed identifier, so
+   no string escaping is needed. Durations become B/E pairs on the
+   writing domain's track; counters become instant events. *)
+
+let buf_event b ~first ~name ~ph ~tid ~ts_us ?args () =
+  if not first then Buffer.add_string b ",\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  {\"name\":\"%s\",\"cat\":\"nbhash\",\"ph\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%.3f"
+       name ph tid ts_us);
+  (match ph with
+  | "i" -> Buffer.add_string b ",\"s\":\"t\""
+  | _ -> ());
+  (match args with
+  | None -> ()
+  | Some kvs ->
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":%s" k v))
+      kvs;
+    Buffer.add_char b '}');
+  Buffer.add_char b '}'
+
+let to_chrome_string t =
+  let recs = records t in
+  let t0 = if Array.length recs = 0 then 0 else recs.(0).ts_ns in
+  let t_last =
+    if Array.length recs = 0 then 0 else recs.(Array.length recs - 1).ts_ns
+  in
+  let us ts = float_of_int (ts - t0) /. 1e3 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  let first = ref true in
+  let emit ~name ~ph ~tid ~ts_us ?args () =
+    buf_event b ~first:!first ~name ~ph ~tid ~ts_us ?args ();
+    first := false
+  in
+  (* One metadata record per distinct domain names its track. *)
+  let doms = Hashtbl.create 8 in
+  Array.iter
+    (fun r ->
+      if not (Hashtbl.mem doms r.domain) then begin
+        Hashtbl.add doms r.domain ();
+        emit ~name:"thread_name" ~ph:"M" ~tid:r.domain ~ts_us:0.0
+          ~args:[ ("name", Printf.sprintf "\"domain %d\"" r.domain) ]
+          ()
+      end)
+    recs;
+  (* B/E events must nest per track. A ring that wrapped mid-span can
+     hold an End with no Begin (dropped) or a Begin with no End (closed
+     synthetically at the trace's last timestamp). *)
+  let stacks : (int, Event.span list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack dom =
+    match Hashtbl.find_opt stacks dom with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks dom s;
+      s
+  in
+  Array.iter
+    (fun r ->
+      match (r.phase, r.point) with
+      | Instant, _ ->
+        emit ~name:(point_name r.point) ~ph:"i" ~tid:r.domain ~ts_us:(us r.ts_ns)
+          ~args:[ ("arg", string_of_int r.arg) ]
+          ()
+      | Begin, Span s ->
+        let st = stack r.domain in
+        st := s :: !st;
+        emit ~name:(span_label s) ~ph:"B" ~tid:r.domain ~ts_us:(us r.ts_ns) ()
+      | End, Span s -> (
+        let st = stack r.domain in
+        match !st with
+        | top :: rest when top = s ->
+          st := rest;
+          emit ~name:(span_label s) ~ph:"E" ~tid:r.domain ~ts_us:(us r.ts_ns) ()
+        | _ -> () (* orphan End: its Begin was overwritten *))
+      | (Begin | End), Counter _ -> ())
+    recs;
+  Hashtbl.iter
+    (fun dom st ->
+      List.iter
+        (fun s ->
+          emit ~name:(span_label s) ~ph:"E" ~tid:dom ~ts_us:(us t_last) ())
+        !st)
+    stacks;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ns\",";
+  Buffer.add_string b
+    (Printf.sprintf "\"otherData\":{\"source\":\"nbhash flight recorder\",\"records\":%d,\"written\":%d}}\n"
+       (Array.length recs) (written t));
+  Buffer.contents b
+
+let write_chrome oc t = output_string oc (to_chrome_string t)
+
+(* Human-readable tail for stall dumps: the newest [n] merged records,
+   one per line. *)
+let dump_tail ?(n = 40) ppf t =
+  let recs = records t in
+  let len = Array.length recs in
+  let start = max 0 (len - n) in
+  if len = 0 then Format.fprintf ppf "(trace empty)@."
+  else
+    for i = start to len - 1 do
+      let r = recs.(i) in
+      let phase =
+        match r.phase with Instant -> "." | Begin -> "B" | End -> "E"
+      in
+      Format.fprintf ppf "%19d d%-3d %s %-22s arg=%d@." r.ts_ns r.domain phase
+        (point_name r.point) r.arg
+    done

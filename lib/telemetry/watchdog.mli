@@ -1,0 +1,49 @@
+(** Liveness watchdog over the wait-free announce arrays.
+
+    Samples [pending_ops]-style sources, tracks how long each
+    announced operation (identified by its unique bakery priority) has
+    been pending, and reports the ones older than a configurable age.
+    Turns the tables' nonblocking-progress claims into something a
+    soak run can check: with working helping, no (tid, token) pair
+    survives more than a few polls; a never-helping implementation
+    trips the watchdog deterministically (the negative-control test).
+
+    Single-owner: create and poll from one domain. The polled sources
+    may be racing with the table's own threads — snapshots are
+    best-effort and self-correcting at the next poll. *)
+
+type source = {
+  name : string;
+  pending : unit -> (int * int) array;
+      (** announced-but-incomplete operations as [(tid, token)] pairs;
+          the token must be unique per operation (the announce
+          priority is) so that slot reuse restarts the age clock *)
+}
+
+type stall = { source : string; tid : int; token : int; age_ns : int }
+
+type t
+
+val default_max_age_ns : int
+(** 1 second. *)
+
+val create : ?max_age_ns:int -> source list -> t
+
+val poll : t -> stall list
+(** One sample: update first-seen times, drop completed operations,
+    report those pending longer than [max_age_ns]. A stalled operation
+    is re-reported on every subsequent poll until it completes. *)
+
+val stale_lanes : ?max_age_ns:int -> Trace.t -> (int * int) list
+(** Trace lanes whose newest record is older than [max_age_ns], as
+    [(lane, age_ns)]: domains that stopped emitting entirely. Only
+    meaningful while the traced workload should be active. *)
+
+val pp_stall : Format.formatter -> stall -> unit
+
+val run :
+  ?interval:float -> ?on_stall:(stall list -> unit) -> stop:(unit -> bool) ->
+  t -> int
+(** Sampling loop for soak runs: poll every [interval] (default 0.1s)
+    seconds until [stop ()] holds, calling [on_stall] on each
+    non-empty report. Returns the total number of stalls reported. *)

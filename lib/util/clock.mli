@@ -1,0 +1,17 @@
+(** The single time source of the repository.
+
+    Every nanosecond timestamp — probe duration spans, flight-recorder
+    trace records, and the bench harness's per-operation latencies —
+    comes from {!now_ns}, so timestamps from different subsystems are
+    directly comparable (same origin, same units). Before this module
+    existed, probe spans used one wall clock and the bench another
+    (bechamel's monotonic clock, with its own epoch), which made it
+    impossible to line a span up against a latency sample. *)
+
+val now_ns : unit -> int
+(** Current time in integer nanoseconds since the Unix epoch.
+
+    Monotonic-enough: backed by [Unix.gettimeofday], so an NTP step
+    can move it; the consumers (log2 histograms, trace merging by
+    sort, coarse stall ages) all tolerate rare small regressions.
+    Fits an OCaml 63-bit int until the year 2262. *)

@@ -1,0 +1,35 @@
+(** A minimal JSON reader for the repo's own tooling.
+
+    The telemetry and bench layers hand-encode their JSON
+    ([Snapshot.to_json], the bench emitter, the trace exporter); this
+    is the matching decoder, used by [tools/bench_compare] to diff two
+    bench files and by the test suite to validate that the emitters
+    produce well-formed documents. It accepts standard JSON (RFC 8259)
+    with no extensions; numbers become [float], and [\uXXXX] escapes
+    are decoded to UTF-8 (unpaired surrogates pass through as their
+    raw code point's encoding). Not optimized and not streaming —
+    bench files are a few hundred KB at most. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** fields in document order *)
+
+val parse : string -> (t, string) result
+(** [Error msg] carries a byte offset and a description. Trailing
+    whitespace is allowed; any other trailing content is an error. *)
+
+val parse_exn : string -> t
+(** @raise Failure on invalid input. *)
+
+(** Accessors; all return [None] on a shape mismatch. [member] returns
+    the first binding of the key. *)
+
+val member : string -> t -> t option
+val to_num : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option
+val keys : t -> string list option

@@ -15,6 +15,7 @@ type table = {
   check_invariants : unit -> unit;
   resize_stats : unit -> Nbhash.Hashset_intf.resize_stats;
   bucket_sizes : unit -> int array;
+  pending : unit -> (int * int) array;
 }
 
 type maker = ?policy:Nbhash.Policy.t -> ?max_threads:int -> unit -> table
@@ -40,6 +41,7 @@ let of_module (module S : Nbhash.Hashset_intf.S) : maker =
     check_invariants = (fun () -> S.check_invariants t);
     resize_stats = (fun () -> S.resize_stats t);
     bucket_sizes = (fun () -> S.bucket_sizes t);
+    pending = (fun () -> S.pending_ops t);
   }
 
 let adaptive_tuned ~fast_threshold : maker =
@@ -64,6 +66,7 @@ let adaptive_tuned ~fast_threshold : maker =
     check_invariants = (fun () -> A.check_invariants t);
     resize_stats = (fun () -> A.resize_stats t);
     bucket_sizes = (fun () -> A.bucket_sizes t);
+    pending = (fun () -> A.pending_ops t);
   }
 
 let all_eight =

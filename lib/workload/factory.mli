@@ -26,6 +26,9 @@ type table = {
   check_invariants : unit -> unit;
   resize_stats : unit -> Nbhash.Hashset_intf.resize_stats;
   bucket_sizes : unit -> int array;
+  pending : unit -> (int * int) array;
+      (** {!Nbhash.Hashset_intf.S.pending_ops}: the announce-array
+          snapshot a {!Nbhash_telemetry.Watchdog} source samples. *)
 }
 
 type maker = ?policy:Nbhash.Policy.t -> ?max_threads:int -> unit -> table

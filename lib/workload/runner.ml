@@ -49,6 +49,11 @@ let run table ~threads ~spec ~duration ?(seed = 42) () =
      the snapshot is read only after every worker has joined. *)
   let recording = Nbhash_telemetry.Global.is_recording () in
   if recording then Nbhash_telemetry.Global.reset ();
+  (* Same scoping for the flight recorder: drop prepopulation records
+     so an installed trace ring covers only the measurement window. *)
+  (match Nbhash_telemetry.Trace.active () with
+  | Some tr -> Nbhash_telemetry.Trace.clear tr
+  | None -> ());
   let domains = List.init threads (fun i -> Domain.spawn (worker i)) in
   Barrier.wait barrier;
   let t0 = now () in

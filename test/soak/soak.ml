@@ -16,9 +16,46 @@
    table, all tables. *)
 
 module Factory = Nbhash_workload.Factory
+module Trace = Nbhash_telemetry.Trace
+module Watchdog = Nbhash_telemetry.Watchdog
 
 let domains = 4
 let key_range = 256
+
+(* Run [body] (the spawn/storm/join phase of one table's soak) under
+   the flight recorder and a liveness watchdog. The watchdog samples
+   the table's announce array from its own domain; if any announced
+   operation stays pending past the age limit — a helping failure, the
+   exact hang class the nonblocking claims rule out — it prints the
+   stall and the merged trace tail (what every domain was doing just
+   before), and the stall counts as a soak violation. *)
+let watched (table : Factory.table) name body =
+  let tr = Trace.create ~lanes:16 ~capacity:4096 () in
+  Trace.install tr;
+  let wd =
+    Watchdog.create ~max_age_ns:2_000_000_000
+      [ { Watchdog.name; pending = table.Factory.pending } ]
+  in
+  let wd_stop = Atomic.make false in
+  let wd_domain =
+    Domain.spawn (fun () ->
+        Watchdog.run ~interval:0.25
+          ~on_stall:(fun stalls ->
+            Printf.printf "\n  WATCHDOG STALL:";
+            List.iter
+              (fun s ->
+                Format.printf "@.    %a" Watchdog.pp_stall s)
+              stalls;
+            Format.printf "@.  trace tail:@.";
+            Trace.dump_tail ~n:30 Format.std_formatter tr)
+          ~stop:(fun () -> Atomic.get wd_stop)
+          wd)
+  in
+  body ();
+  Atomic.set wd_stop true;
+  let stalls = Domain.join wd_domain in
+  Trace.uninstall ();
+  stalls
 
 let soak_table name (maker : Factory.maker) ~seconds =
   Printf.printf "%-12s soaking %.0fs ... %!" name seconds;
@@ -52,16 +89,20 @@ let soak_table name (maker : Factory.maker) ~seconds =
       done
     done
   in
-  let ds =
-    Domain.spawn stormer :: List.init domains (fun d -> Domain.spawn (worker d))
+  let stalls =
+    watched table name (fun () ->
+        let ds =
+          Domain.spawn stormer
+          :: List.init domains (fun d -> Domain.spawn (worker d))
+        in
+        Unix.sleepf seconds;
+        Atomic.set stop true;
+        List.iter Domain.join ds)
   in
-  Unix.sleepf seconds;
-  Atomic.set stop true;
-  List.iter Domain.join ds;
   table.Factory.check_invariants ();
   let final = table.Factory.elements () in
   let mem k = Array.exists (fun x -> x = k) final in
-  let violations = ref 0 in
+  let violations = ref stalls in
   for k = 0 to key_range - 1 do
     let net = ref 0 in
     for d = 0 to domains - 1 do
@@ -118,16 +159,20 @@ let churn_table name (maker : Factory.maker) ~seconds =
       done
     done
   in
-  let ds =
-    Domain.spawn stormer :: List.init domains (fun d -> Domain.spawn (worker d))
+  let stalls =
+    watched table name (fun () ->
+        let ds =
+          Domain.spawn stormer
+          :: List.init domains (fun d -> Domain.spawn (worker d))
+        in
+        Unix.sleepf seconds;
+        Atomic.set stop true;
+        List.iter Domain.join ds)
   in
-  Unix.sleepf seconds;
-  Atomic.set stop true;
-  List.iter Domain.join ds;
   table.Factory.check_invariants ();
   let final = table.Factory.elements () in
   let mem k = Array.exists (fun x -> x = k) final in
-  let violations = ref 0 in
+  let violations = ref stalls in
   for d = 0 to domains - 1 do
     for k = 0 to key_range - 1 do
       if mem ((d * key_range) + k) <> expected.(d).(k) then begin

@@ -79,11 +79,32 @@ let churn (module S : Nbhash.Hashset_intf.S) () =
         done;
         S.unregister h
       in
+      (* The liveness watchdog rides along on every storm: with
+         working helping no announced operation survives for seconds,
+         so any stall here is a real progress bug. *)
+      let wd =
+        Nbhash_telemetry.Watchdog.create ~max_age_ns:2_000_000_000
+          [
+            {
+              Nbhash_telemetry.Watchdog.name = S.name;
+              pending = (fun () -> S.pending_ops t);
+            };
+          ]
+      in
+      let wd_stop = Atomic.make false in
+      let wd_domain =
+        Domain.spawn (fun () ->
+            Nbhash_telemetry.Watchdog.run ~interval:0.005
+              ~stop:(fun () -> Atomic.get wd_stop)
+              wd)
+      in
       let ds =
         Domain.spawn trigger
         :: List.init domains (fun d -> Domain.spawn (worker d))
       in
       List.iter Domain.join ds;
+      Atomic.set wd_stop true;
+      Alcotest.(check int) "watchdog-clean storm" 0 (Domain.join wd_domain);
       S.check_invariants t;
       let final = List.sort compare (Array.to_list (S.elements t)) in
       Alcotest.(check (list int))

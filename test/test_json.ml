@@ -1,0 +1,84 @@
+(* The minimal JSON reader in Nbhash_util.Json: it exists to validate
+   the repo's own emitters (snapshot, bench, trace exporter) and to
+   diff bench files, so the tests focus on RFC 8259 conformance of
+   what those emitters produce plus loud rejection of malformed
+   input. *)
+
+module Json = Nbhash_util.Json
+
+let ok s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected parse failure on %S: %s" s e
+
+let bad s =
+  match Json.parse s with
+  | Ok _ -> Alcotest.failf "expected parse failure on %S" s
+  | Error _ -> ()
+
+let test_scalars () =
+  Alcotest.(check bool) "null" true (ok "null" = Json.Null);
+  Alcotest.(check bool) "true" true (ok "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (ok " false " = Json.Bool false);
+  Alcotest.(check bool) "int" true (ok "42" = Json.Num 42.);
+  Alcotest.(check bool) "negative" true (ok "-7" = Json.Num (-7.));
+  Alcotest.(check bool) "fraction" true (ok "1.5" = Json.Num 1.5);
+  Alcotest.(check bool) "exponent" true (ok "25e-1" = Json.Num 2.5);
+  Alcotest.(check bool) "string" true (ok {|"hi"|} = Json.Str "hi")
+
+let test_escapes () =
+  Alcotest.(check bool) "common escapes" true
+    (ok {|"a\"b\\c\/d\n\t"|} = Json.Str "a\"b\\c/d\n\t");
+  Alcotest.(check bool) "unicode escape" true
+    (ok "\"\\u0041\"" = Json.Str "A");
+  (* U+1F600 as a surrogate pair must decode to 4-byte UTF-8. *)
+  Alcotest.(check bool) "surrogate pair" true
+    (ok "\"\\ud83d\\ude00\"" = Json.Str "\xf0\x9f\x98\x80")
+
+let test_structures () =
+  Alcotest.(check bool) "empty array" true (ok "[]" = Json.Arr []);
+  Alcotest.(check bool) "empty object" true (ok "{}" = Json.Obj []);
+  let v = ok {|{"a":[1,2],"b":{"c":null},"a":3}|} in
+  (match Json.member "a" v with
+  | Some (Json.Arr [ Json.Num 1.; Json.Num 2. ]) -> ()
+  | _ -> Alcotest.fail "member returns the FIRST binding of a key");
+  Alcotest.(check (option (list string)))
+    "keys in document order"
+    (Some [ "a"; "b"; "a" ])
+    (Json.keys v);
+  match Option.bind (Json.member "b" v) (Json.member "c") with
+  | Some Json.Null -> ()
+  | _ -> Alcotest.fail "nested member"
+
+let test_rejects () =
+  bad "";
+  bad "nul";
+  bad "01";
+  bad "[1,]";
+  bad "{\"a\":}";
+  bad "{\"a\" 1}";
+  bad "\"unterminated";
+  bad "[1] trailing";
+  bad "'single quotes'"
+
+let test_accessors () =
+  Alcotest.(check (option (float 0.))) "to_num" (Some 3.) (Json.to_num (ok "3"));
+  Alcotest.(check (option string)) "to_str" (Some "x") (Json.to_str (ok {|"x"|}));
+  Alcotest.(check bool) "to_list" true
+    (Json.to_list (ok "[null]") = Some [ Json.Null ]);
+  Alcotest.(check (option (float 0.))) "shape mismatch" None
+    (Json.to_num (ok "[]"));
+  Alcotest.(check (option string)) "member on non-object" None
+    (Option.bind (Json.member "k" (ok "[]")) Json.to_str)
+
+let suite =
+  [
+    ( "json",
+      [
+        Alcotest.test_case "scalars" `Quick test_scalars;
+        Alcotest.test_case "string escapes" `Quick test_escapes;
+        Alcotest.test_case "arrays and objects" `Quick test_structures;
+        Alcotest.test_case "malformed input rejected" `Quick test_rejects;
+        Alcotest.test_case "accessors" `Quick test_accessors;
+      ] );
+  ]

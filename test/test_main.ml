@@ -8,5 +8,6 @@ let () =
    @ Test_keyed.suite @ Test_generic.suite @ Test_differential.suite
    @ Test_ulist.suite @ Test_extend.suite @ Test_linearizability.suite
    @ Test_targeted.suite
-   @ Test_workload.suite @ Test_telemetry.suite @ Test_churn.suite
+   @ Test_workload.suite @ Test_telemetry.suite @ Test_json.suite
+   @ Test_trace.suite @ Test_churn.suite
    @ Test_lint.suite)

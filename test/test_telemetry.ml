@@ -248,6 +248,56 @@ let test_snapshot_json () =
   Alcotest.(check bool) "resize span present" true (has "\"resize_ns\":{\"n\":1");
   Alcotest.(check bool) "zero is zero" true (Snapshot.is_zero Snapshot.zero)
 
+(* The JSON shape downstream tooling (bench_compare, the CI schema
+   check, ad-hoc jq) depends on: parseable, top-level counters+spans,
+   counter keys exactly Event.all in declaration order (stable across
+   snapshots), every number finite. *)
+let test_snapshot_json_shape () =
+  let module Json = Nbhash_util.Json in
+  let snap =
+    Mutex.lock probe_lock;
+    Fun.protect
+      ~finally:(fun () ->
+        Tm.install Probe.noop;
+        Mutex.unlock probe_lock)
+      (fun () ->
+        Tm.install (Probe.recording ());
+        Tm.emit Event.Freeze;
+        Tm.record_span Event.Sweep_span ~start_ns:(Tm.now_ns () - 1000);
+        Tm.snapshot ())
+  in
+  let doc =
+    match Json.parse (Snapshot.to_json snap) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "snapshot JSON does not parse: %s" e
+  in
+  Alcotest.(check (option (list string)))
+    "top-level shape"
+    (Some [ "counters"; "spans" ])
+    (Json.keys doc);
+  let expected_keys = List.map Event.to_string Event.all in
+  let counters = Option.get (Json.member "counters" doc) in
+  Alcotest.(check (option (list string)))
+    "counter keys: every event, declaration order" (Some expected_keys)
+    (Json.keys counters);
+  (* Same key order on a zero snapshot: stable across inputs. *)
+  let zero_doc = Json.parse_exn (Snapshot.to_json Snapshot.zero) in
+  Alcotest.(check (option (list string)))
+    "key order input-independent" (Some expected_keys)
+    (Json.keys (Option.get (Json.member "counters" zero_doc)));
+  let rec all_finite = function
+    | Json.Num f -> Float.is_finite f
+    | Json.Arr l -> List.for_all all_finite l
+    | Json.Obj kvs -> List.for_all (fun (_, v) -> all_finite v) kvs
+    | Json.Null | Json.Bool _ | Json.Str _ -> true
+  in
+  Alcotest.(check bool) "all numbers finite" true (all_finite doc);
+  match Option.bind (Json.member "spans" doc) Json.keys with
+  | Some keys ->
+    Alcotest.(check bool) "recorded span serialised" true
+      (List.mem (Event.span_to_string Event.Sweep_span) keys)
+  | None -> Alcotest.fail "spans is not an object"
+
 let suite =
   [
     ( "telemetry",
@@ -276,5 +326,7 @@ let suite =
         Alcotest.test_case "wait-free helping reported" `Quick
           test_wf_reports_helping;
         Alcotest.test_case "snapshot json" `Quick test_snapshot_json;
+        Alcotest.test_case "snapshot json shape" `Quick
+          test_snapshot_json_shape;
       ] );
   ]

@@ -1,0 +1,119 @@
+(* Compare a fresh bench JSON against a checked-in baseline:
+
+     bench_compare BASELINE.json FRESH.json [TOLERANCE]
+
+   Each result is keyed on experiment, implementation, and the
+   configuration parameters that identify a data point (threads or
+   workers, key_range, lookup_ratio — whichever the experiment
+   carries). For every key present in both files the throughput ratio
+   fresh/baseline must lie within [1/TOLERANCE, TOLERANCE]; the
+   default tolerance of 3x is deliberately loose — CI machines are
+   noisy and heterogeneous — so a failure means a real regression (or
+   a real speedup worth re-baselining), not jitter.
+
+   Exits 1, with one line per offending configuration, if any ratio
+   is out of band or if the two files share no keys at all (which
+   means the comparison silently checked nothing). *)
+
+module Json = Nbhash_util.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.parse s with
+  | Ok j -> j
+  | Error e -> fail "%s: %s" path e
+
+(* One bench result -> a stable identity string for cross-file
+   matching. Parameters that exist only in one experiment family
+   (e.g. [workers] for churn, [lookup_ratio] for throughput) are
+   simply absent from the other family's keys. *)
+let key_of result =
+  let params = Json.member "params" result in
+  let piece name =
+    match Option.bind params (Json.member name) with
+    | Some (Json.Num f) -> Printf.sprintf "%s=%g" name f
+    | _ -> ""
+  in
+  let str name =
+    match Json.member name result with
+    | Some (Json.Str s) -> name ^ "=" ^ s
+    | _ -> ""
+  in
+  String.concat "|"
+    (List.filter
+       (fun s -> s <> "")
+       [
+         str "exp";
+         str "impl";
+         piece "threads";
+         piece "workers";
+         piece "key_range";
+         piece "lookup_ratio";
+       ])
+
+let results_of path j =
+  (match Json.member "schema" j with
+  | Some (Json.Str "nbhash-bench-v2") -> ()
+  | Some (Json.Str other) ->
+    fail "%s: schema %S, expected \"nbhash-bench-v2\"" path other
+  | _ -> fail "%s: missing schema field" path);
+  let results =
+    match Option.bind (Json.member "results" j) Json.to_list with
+    | Some l -> l
+    | None -> fail "%s: missing results array" path
+  in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      match Option.bind (Json.member "ops_per_usec" r) Json.to_num with
+      | Some ops when Float.is_finite ops && ops > 0. ->
+        Hashtbl.replace tbl (key_of r) ops
+      | _ -> fail "%s: result %s has no positive ops_per_usec" path (key_of r))
+    results;
+  tbl
+
+let () =
+  let baseline_path, fresh_path, tolerance =
+    match Array.to_list Sys.argv with
+    | [ _; b; f ] -> (b, f, 3.0)
+    | [ _; b; f; t ] -> (
+      match float_of_string_opt t with
+      | Some t when t > 1.0 -> (b, f, t)
+      | _ -> fail "tolerance must be a float > 1, got %S" t)
+    | _ -> fail "usage: bench_compare BASELINE.json FRESH.json [TOLERANCE]"
+  in
+  let baseline = results_of baseline_path (load baseline_path) in
+  let fresh = results_of fresh_path (load fresh_path) in
+  let shared = ref 0 in
+  let bad = ref [] in
+  Hashtbl.iter
+    (fun key base_ops ->
+      match Hashtbl.find_opt fresh key with
+      | None -> ()
+      | Some fresh_ops ->
+        incr shared;
+        let ratio = fresh_ops /. base_ops in
+        if ratio < 1. /. tolerance || ratio > tolerance then
+          bad := (key, base_ops, fresh_ops, ratio) :: !bad)
+    baseline;
+  if !shared = 0 then
+    fail "no shared configurations between %s (%d) and %s (%d)" baseline_path
+      (Hashtbl.length baseline) fresh_path (Hashtbl.length fresh);
+  if !bad <> [] then begin
+    Printf.eprintf
+      "bench_compare: %d of %d configurations outside %gx tolerance:\n"
+      (List.length !bad) !shared tolerance;
+    List.iter
+      (fun (key, b, f, r) ->
+        Printf.eprintf "  %-70s baseline=%8.3f fresh=%8.3f ratio=%.2fx\n" key b
+          f r)
+      (List.sort compare !bad);
+    exit 1
+  end;
+  Printf.printf "bench_compare: %d configurations within %gx of %s\n" !shared
+    tolerance baseline_path
