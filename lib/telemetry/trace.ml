@@ -72,7 +72,19 @@ let uninstall () = Atomic.Real.set current None
 let active () = Atomic.Real.get current
 
 (* Record codes. 0 is reserved so that never-written slots (and the
-   zeroed slots after [clear]) decode as invalid. *)
+   zeroed slots after [clear]) decode as invalid. Instants occupy
+   1..63, span Begins 64..127, span Ends 128..191 — fixed-width bands,
+   so growing [Event] past a band would silently alias instant codes
+   into the Begin range and corrupt every decoded trace. Checked once
+   at module initialisation: the build that adds the 64th counter (or
+   65th span) fails its first test instead of shipping unreadable
+   traces. *)
+let () =
+  if Event.count >= 64 then
+    failwith "Trace: Event.count must stay < 64 (record-code band 1..63)";
+  if Event.span_count > 64 then
+    failwith "Trace: Event.span_count must stay <= 64 (record-code bands)"
+
 let code_instant ev = 1 + Event.index ev
 let code_begin s = 64 + Event.span_index s
 let code_end s = 128 + Event.span_index s

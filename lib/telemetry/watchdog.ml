@@ -17,7 +17,11 @@
    sources' [pending] thunks are the only part that reads shared
    memory, and they only read announce slots — the snapshot is racy by
    nature, which is fine: a completed-meanwhile operation just drops
-   out at the next poll, and a false "pending" lasts one interval. *)
+   out at the next poll, and a false "pending" lasts one interval.
+
+   Ages are differences of Nbhash_util.Clock.now_ns readings; that
+   clock is monotonic (CLOCK_MONOTONIC), so ages are non-negative and
+   a wall-clock step can neither mass-report stalls nor hide one. *)
 
 type source = {
   name : string;

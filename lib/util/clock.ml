@@ -1,1 +1,1 @@
-let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+external now_ns : unit -> int = "nbhash_clock_monotonic_ns" [@@noalloc]

@@ -9,9 +9,16 @@
     impossible to line a span up against a latency sample. *)
 
 val now_ns : unit -> int
-(** Current time in integer nanoseconds since the Unix epoch.
+(** Current time in integer nanoseconds on the system's monotonic
+    clock ([clock_gettime(CLOCK_MONOTONIC)] via a noalloc C stub).
 
-    Monotonic-enough: backed by [Unix.gettimeofday], so an NTP step
-    can move it; the consumers (log2 histograms, trace merging by
-    sort, coarse stall ages) all tolerate rare small regressions.
-    Fits an OCaml 63-bit int until the year 2262. *)
+    Truly monotonic — immune to NTP steps and wall-clock changes — so
+    [now_ns () - t0] is always a non-negative elapsed time, and the
+    source's full nanosecond resolution survives (no float round-trip,
+    unlike the [Unix.gettimeofday]-based predecessor whose ~256 ns
+    ulp quantisation at epoch magnitude made sub-µs latencies
+    unmeasurable). The origin is unspecified (boot time on Linux):
+    values are meaningful only relative to other [now_ns] readings in
+    the same process, never as wall-clock dates. Fits an OCaml 63-bit
+    int for ~146 years of uptime, and allocates nothing, so it is
+    safe on the trace-ring hot path. *)

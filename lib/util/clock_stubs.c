@@ -1,0 +1,18 @@
+/* Monotonic integer-nanosecond clock for Nbhash_util.Clock.
+
+   CLOCK_MONOTONIC never steps backwards (NTP slews it but cannot jump
+   it), has nanosecond-granularity reads on Linux, and its values since
+   boot fit comfortably in an OCaml 63-bit immediate int (about 146
+   years of uptime) — so the stub returns Val_long directly and can be
+   declared [@@noalloc]: no boxing, no callbacks, safe to call from the
+   trace-ring hot path without allocating. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value nbhash_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -85,24 +85,34 @@ let parse_string st =
       | 'r' -> Buffer.add_char b '\r'
       | 't' -> Buffer.add_char b '\t'
       | 'u' ->
-        let hi = parse_u16 st in
-        let cp =
-          if hi >= 0xD800 && hi <= 0xDBFF
-             && st.pos + 6 <= String.length st.s
-             && st.s.[st.pos] = '\\' && st.s.[st.pos + 1] = 'u'
-          then (
-            st.pos <- st.pos + 2;
-            let lo = parse_u16 st in
-            if lo >= 0xDC00 && lo <= 0xDFFF then
-              0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00)
-            else (* not a low surrogate: emit both separately *) (
-              encode_utf8 b hi;
-              lo))
-          else hi
-        in
-        encode_utf8 b cp
+        (* Surrogate handling: a high+low pair combines into one
+           supplementary code point; anything unpaired becomes U+FFFD
+           (never a raw D800–DFFF code unit, which UTF-8 cannot
+           validly encode). An unpaired high surrogate consumes only
+           itself, so whatever \u escape follows is re-parsed
+           normally. *)
+        let u = parse_u16 st in
+        if u >= 0xD800 && u <= 0xDBFF then
+          let lo =
+            if st.pos + 6 <= String.length st.s
+               && st.s.[st.pos] = '\\' && st.s.[st.pos + 1] = 'u'
+            then (
+              let save = st.pos in
+              st.pos <- st.pos + 2;
+              let lo = parse_u16 st in
+              if lo >= 0xDC00 && lo <= 0xDFFF then Some lo
+              else (st.pos <- save; None))
+            else None
+          in
+          (match lo with
+          | Some lo ->
+            encode_utf8 b (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+          | None -> encode_utf8 b 0xFFFD)
+        else if u >= 0xDC00 && u <= 0xDFFF then encode_utf8 b 0xFFFD
+        else encode_utf8 b u
       | _ -> fail st "bad escape");
       loop ()
+    | c when c < ' ' -> fail st "unescaped control character in string"
     | c -> advance st; Buffer.add_char b c; loop ()
   in
   loop ()

@@ -5,10 +5,12 @@
     is the matching decoder, used by [tools/bench_compare] to diff two
     bench files and by the test suite to validate that the emitters
     produce well-formed documents. It accepts standard JSON (RFC 8259)
-    with no extensions; numbers become [float], and [\uXXXX] escapes
-    are decoded to UTF-8 (unpaired surrogates pass through as their
-    raw code point's encoding). Not optimized and not streaming —
-    bench files are a few hundred KB at most. *)
+    with no extensions: unescaped control characters in strings are
+    rejected, numbers must match the RFC grammar, and [\uXXXX] escapes
+    are decoded to UTF-8 — surrogate pairs combine, unpaired
+    surrogates become U+FFFD so the output is always valid UTF-8.
+    Numbers become [float]. Not optimized and not streaming — bench
+    files are a few hundred KB at most. *)
 
 type t =
   | Null

@@ -1,0 +1,51 @@
+(* Nbhash_util.Clock is the shared time axis for probe spans, trace
+   records and bench latencies. The properties that make it fit for
+   sub-microsecond latency sampling — monotonic, integer-ns with no
+   float round-trip, allocation-free — regressed once (a wall-clock
+   float backend quantised every reading to 256 ns multiples and
+   zeroed the churn bench's p50), so each is pinned here. *)
+
+module Clock = Nbhash_util.Clock
+
+let test_monotonic () =
+  let prev = ref (Clock.now_ns ()) in
+  for _ = 1 to 100_000 do
+    let t = Clock.now_ns () in
+    if t < !prev then
+      Alcotest.failf "clock went backwards: %d after %d" t !prev;
+    prev := t
+  done
+
+(* A float wall-clock backend can only produce multiples of the ulp at
+   epoch magnitude (256 ns); a true integer-ns source read at random
+   instants lands off that grid. One off-grid reading in 10k proves
+   the backend is not quantised. *)
+let test_sub_256ns_resolution () =
+  let off_grid = ref false in
+  (let t0 = Clock.now_ns () in
+   for _ = 1 to 10_000 do
+     if (Clock.now_ns () - t0) land 255 <> 0 then off_grid := true
+   done);
+  Alcotest.(check bool) "readings not quantised to 256ns multiples" true
+    !off_grid
+
+let test_noalloc () =
+  let before = Gc.minor_words () in
+  let sink = ref 0 in
+  for _ = 1 to 10_000 do
+    sink := !sink + Clock.now_ns ()
+  done;
+  let after = Gc.minor_words () in
+  ignore (Sys.opaque_identity !sink);
+  Alcotest.(check (float 0.)) "minor words allocated" 0. (after -. before)
+
+let suite =
+  [
+    ( "clock",
+      [
+        Alcotest.test_case "monotonic" `Quick test_monotonic;
+        Alcotest.test_case "sub-256ns resolution" `Quick
+          test_sub_256ns_resolution;
+        Alcotest.test_case "allocation-free" `Quick test_noalloc;
+      ] );
+  ]

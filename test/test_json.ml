@@ -33,7 +33,20 @@ let test_escapes () =
     (ok "\"\\u0041\"" = Json.Str "A");
   (* U+1F600 as a surrogate pair must decode to 4-byte UTF-8. *)
   Alcotest.(check bool) "surrogate pair" true
-    (ok "\"\\ud83d\\ude00\"" = Json.Str "\xf0\x9f\x98\x80")
+    (ok "\"\\ud83d\\ude00\"" = Json.Str "\xf0\x9f\x98\x80");
+  (* Unpaired surrogates can't be represented in valid UTF-8: they
+     decode to U+FFFD, never to a raw D800-DFFF encoding. *)
+  let fffd = "\xef\xbf\xbd" in
+  Alcotest.(check bool) "lone high surrogate" true
+    (ok "\"\\ud800\"" = Json.Str fffd);
+  Alcotest.(check bool) "lone low surrogate" true
+    (ok "\"\\udc00\"" = Json.Str fffd);
+  (* An unpaired high surrogate consumes only itself: the following
+     escape is decoded on its own. *)
+  Alcotest.(check bool) "high surrogate then BMP escape" true
+    (ok "\"\\ud800\\u0041\"" = Json.Str (fffd ^ "A"));
+  Alcotest.(check bool) "high surrogate then high surrogate" true
+    (ok "\"\\ud800\\ud83d\\ude00\"" = Json.Str (fffd ^ "\xf0\x9f\x98\x80"))
 
 let test_structures () =
   Alcotest.(check bool) "empty array" true (ok "[]" = Json.Arr []);
@@ -59,7 +72,11 @@ let test_rejects () =
   bad "{\"a\" 1}";
   bad "\"unterminated";
   bad "[1] trailing";
-  bad "'single quotes'"
+  bad "'single quotes'";
+  (* RFC 8259: control characters below 0x20 must be escaped. *)
+  bad "\"tab\there\"";
+  bad "\"newline\nhere\"";
+  bad "\"nul\x00here\""
 
 let test_accessors () =
   Alcotest.(check (option (float 0.))) "to_num" (Some 3.) (Json.to_num (ok "3"));

@@ -1,6 +1,6 @@
 let () =
   Alcotest.run "nbhash"
-    (Test_bits.suite @ Test_xoshiro.suite @ Test_stats.suite @ Test_backoff.suite @ Test_alias.suite
+    (Test_bits.suite @ Test_xoshiro.suite @ Test_stats.suite @ Test_backoff.suite @ Test_alias.suite @ Test_clock.suite
    @ Test_intset.suite @ Test_policy.suite @ Test_fsets.suite
    @ Test_fset_concurrent.suite @ Test_tables.suite
    @ Test_hashset_concurrent.suite @ Test_ordered_list.suite

@@ -20,6 +20,20 @@ let with_trace ?lanes ?capacity f =
   Trace.install tr;
   Fun.protect ~finally:Trace.uninstall (fun () -> f tr)
 
+(* --- record-code bands --- *)
+
+(* The ring encodes records as: instants 1..63, span Begins 64..127,
+   span Ends 128..191. Trace's module initialiser refuses to load if
+   the taxonomy outgrows a band; this test states the same bound so
+   the 64th counter's author finds the encoding constraint by name
+   instead of by decoder corruption. *)
+let test_code_bands () =
+  Alcotest.(check bool)
+    "Event.count fits the instant band (< 64)" true (Event.count < 64);
+  Alcotest.(check bool)
+    "Event.span_count fits the Begin/End bands (<= 64)" true
+    (Event.span_count <= 64)
+
 (* --- ring wrap-around --- *)
 
 let test_wraparound () =
@@ -275,6 +289,7 @@ let suite =
   [
     ( "trace",
       [
+        Alcotest.test_case "record-code bands" `Quick test_code_bands;
         Alcotest.test_case "ring wrap-around" `Quick test_wraparound;
         Alcotest.test_case "clear" `Quick test_clear;
         Alcotest.test_case "multi-domain merge ordering" `Quick

@@ -31,8 +31,12 @@ let load path =
 (* One bench result -> a stable identity string for cross-file
    matching. Parameters that exist only in one experiment family
    (e.g. [workers] for churn, [lookup_ratio] for throughput) are
-   simply absent from the other family's keys. *)
-let key_of result =
+   simply absent from the other family's keys. The file-level [mode]
+   and the per-result [duration] are part of the identity: a smoke
+   result and a full result of the same configuration are different
+   measurements (different run lengths, warmup fractions), and
+   comparing them silently would make the tolerance check vacuous. *)
+let key_of ~mode result =
   let params = Json.member "params" result in
   let piece name =
     match Option.bind params (Json.member name) with
@@ -48,12 +52,14 @@ let key_of result =
     (List.filter
        (fun s -> s <> "")
        [
+         "mode=" ^ mode;
          str "exp";
          str "impl";
          piece "threads";
          piece "workers";
          piece "key_range";
          piece "lookup_ratio";
+         piece "duration";
        ])
 
 let results_of path j =
@@ -62,6 +68,11 @@ let results_of path j =
   | Some (Json.Str other) ->
     fail "%s: schema %S, expected \"nbhash-bench-v2\"" path other
   | _ -> fail "%s: missing schema field" path);
+  let mode =
+    match Json.member "mode" j with
+    | Some (Json.Str m) -> m
+    | _ -> fail "%s: missing mode field" path
+  in
   let results =
     match Option.bind (Json.member "results" j) Json.to_list with
     | Some l -> l
@@ -72,8 +83,9 @@ let results_of path j =
     (fun r ->
       match Option.bind (Json.member "ops_per_usec" r) Json.to_num with
       | Some ops when Float.is_finite ops && ops > 0. ->
-        Hashtbl.replace tbl (key_of r) ops
-      | _ -> fail "%s: result %s has no positive ops_per_usec" path (key_of r))
+        Hashtbl.replace tbl (key_of ~mode r) ops
+      | _ ->
+        fail "%s: result %s has no positive ops_per_usec" path (key_of ~mode r))
     results;
   tbl
 
