@@ -12,6 +12,9 @@
      --trace PATH  install a flight-recorder ring and write the churn
                    section's merged trace as Chrome trace-event JSON
                    (open in Perfetto / chrome://tracing)
+     --serve PORT  expose /metrics, /snapshot.json, /health and
+                   /trace.json over HTTP while the bench runs (implies
+                   --telemetry; port 0 picks a free port)
 
    Throughputs are reported in operations per microsecond, as in the
    paper's charts. Absolute numbers are not comparable to the paper's
@@ -30,6 +33,7 @@ let smoke = ref false
 let telemetry = ref false
 let json_path = ref None
 let trace_path = ref None
+let serve_port = ref None
 
 (* --- machine-readable trajectory (--json) --- *)
 
@@ -56,46 +60,6 @@ let emit_json ~exp ~impl ~params ~ops_per_usec ~telemetry =
       :: !json_results
   end
 
-(* Provenance of a bench file: without it there is no telling which
-   machine or commit produced a checked-in BENCH_*.json. Every value is
-   best-effort — a missing git binary must not fail a benchmark. *)
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' | '\r' | '\t' -> Buffer.add_char b ' '
-      | c when Char.code c < 0x20 -> ()
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let git_rev () =
-  try
-    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
-    let line = try input_line ic with End_of_file -> "unknown" in
-    (match Unix.close_process_in ic with
-    | Unix.WEXITED 0 -> line
-    | _ -> "unknown")
-  with _ -> "unknown"
-
-let iso_timestamp () =
-  let tm = Unix.gmtime (Unix.time ()) in
-  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
-    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
-    tm.Unix.tm_sec
-
-let meta_json () =
-  Printf.sprintf
-    "{\"git_rev\":\"%s\",\"domains\":%d,\"ocaml\":\"%s\",\"hostname\":\"%s\",\"timestamp\":\"%s\"}"
-    (json_escape (git_rev ()))
-    (Domain.recommended_domain_count ())
-    (json_escape Sys.ocaml_version)
-    (json_escape (try Unix.gethostname () with _ -> "unknown"))
-    (iso_timestamp ())
-
 let write_json () =
   match !json_path with
   | None -> ()
@@ -107,7 +71,7 @@ let write_json () =
         Printf.fprintf oc
           "{\"schema\":\"nbhash-bench-v2\",\"mode\":\"%s\",\"meta\":%s,\"results\":[%s]}\n"
           (if !smoke then "smoke" else if !full then "full" else "quick")
-          (meta_json ())
+          (Nbhash_telemetry.Meta.json ())
           (String.concat ",\n" (List.rev !json_results)));
     Printf.printf "\nwrote %d results to %s\n" (List.length !json_results) path
 
@@ -332,6 +296,7 @@ let policy_ablation () =
         let table = maker ~policy ~max_threads:(threads + 2) () in
         let r = Runner.run table ~threads ~spec ~duration () in
         let stats = table.Factory.resize_stats () in
+        table.Factory.close ();
         [
           label;
           Report.ops_per_usec r.Runner.throughput;
@@ -372,6 +337,7 @@ let adaptive_ablation () =
         in
         let r = Runner.run table ~threads ~spec ~duration () in
         let stats = table.Factory.resize_stats () in
+        table.Factory.close ();
         [
           string_of_int fast_threshold;
           Report.ops_per_usec r.Runner.throughput;
@@ -438,6 +404,8 @@ let shrink_demo () =
   Report.print_table
     ~header:[ "phase"; "LFArray buckets"; "SplitOrder buckets"; "cardinal" ]
     ~rows:(List.rev !phase_rows);
+  lf.Factory.close ();
+  so.Factory.close ();
   print_endline
     "(the paper's motivation: SplitOrder can only grow; our table returns to \
      a small bucket array)"
@@ -564,12 +532,16 @@ let memory_bench () =
           ignore (ops.Factory.ins k)
         done;
         let words = Obj.reachable_words (Obj.repr table) in
-        [
-          name;
-          string_of_int words;
-          Printf.sprintf "%.1f" (float_of_int words /. float_of_int n);
-          string_of_int (table.Factory.bucket_count ());
-        ])
+        let row =
+          [
+            name;
+            string_of_int words;
+            Printf.sprintf "%.1f" (float_of_int words /. float_of_int n);
+            string_of_int (table.Factory.bucket_count ());
+          ]
+        in
+        table.Factory.close ();
+        row)
       Factory.with_michael
   in
   Report.print_table
@@ -680,12 +652,14 @@ let latency_bench () =
   let open Bechamel in
   let key_range = 1 lsl 16 in
   let spec = Workload.spec ~lookup_ratio:0.34 ~key_range () in
+  let tables = ref [] in
   let tests =
     List.map
       (fun ((name, maker) : string * Factory.maker) ->
         let table =
           maker ~policy:(policy_for name ~key_range) ~max_threads:4 ()
         in
+        tables := table :: !tables;
         Runner.prepopulate table spec ~seed:7;
         let ops = table.Factory.new_handle () in
         let rng = Nbhash_util.Xoshiro.create 99 in
@@ -697,7 +671,8 @@ let latency_bench () =
                | Workload.Remove, k -> ignore (ops.Factory.rem k))))
       Factory.with_michael
   in
-  run_bechamel ~name:"table" tests
+  run_bechamel ~name:"table" tests;
+  List.iter (fun t -> t.Factory.close ()) !tables
 
 (* ------------------------------------------------------------------ *)
 (* C1: grow/shrink churn — migration-tail latency with the cooperative
@@ -823,6 +798,7 @@ let churn_bench () =
       ~ops_per_usec:(Float.of_int total /. (duration *. 1e6))
       ~telemetry:snap;
     note_telemetry ("LFArrayOpt/" ^ label) snap;
+    table.Factory.close ();
     ( label,
       p99,
       [
@@ -897,16 +873,41 @@ let () =
     | [ "--trace" ] ->
       prerr_endline "--trace requires a path";
       exit 1
+    | "--serve" :: port :: rest -> (
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 ->
+        serve_port := Some p;
+        parse acc rest
+      | _ ->
+        prerr_endline "--serve requires a port number";
+        exit 1)
+    | [ "--serve" ] ->
+      prerr_endline "--serve requires a port number";
+      exit 1
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   if !smoke then full := false;
   if !json_path <> None then telemetry := true;
+  if !serve_port <> None then telemetry := true;
   if !telemetry then
     Nbhash_telemetry.Global.install (Nbhash_telemetry.Probe.recording ());
   if !trace_path <> None then
     Nbhash_telemetry.Trace.install
       (Nbhash_telemetry.Trace.create ~lanes:64 ~capacity:(1 lsl 14) ());
+  let server =
+    match !serve_port with
+    | None -> None
+    | Some port ->
+      let s =
+        Nbhash_telemetry.Metrics_server.start ~port
+          ~watchdog:(Nbhash_telemetry.Watchdog.global ())
+          ()
+      in
+      Printf.printf "serving metrics on http://127.0.0.1:%d/metrics\n%!"
+        (Nbhash_telemetry.Metrics_server.port s);
+      Some s
+  in
   let chosen =
     match args with
     | [] | [ "all" ] -> List.map fst sections
@@ -925,4 +926,5 @@ let () =
         exit 1)
     chosen;
   write_json ();
-  write_trace ()
+  write_trace ();
+  Option.iter Nbhash_telemetry.Metrics_server.stop server

@@ -4,14 +4,18 @@
      nbhash_cli sweep --threads 1,2,4 --range 16 --lookup 0.34
      nbhash_cli stats --table WFArray --threads 2
      nbhash_cli trace --table WFArray --threads 2 -o trace.json
+     nbhash_cli top   --port 9464
      nbhash_cli list
 
    `run` measures one configuration; `sweep` prints one row per
    implementation across a list of thread counts; `stats` runs one
    configuration under a recording telemetry probe and prints the
-   event counters; `trace` runs one configuration under the flight
-   recorder and writes a Perfetto-loadable Chrome trace; `list` names
-   the available implementations. *)
+   event counters (or pretty-prints a saved snapshot with --from);
+   `trace` runs one configuration under the flight recorder and writes
+   a Perfetto-loadable Chrome trace (or summarizes a saved one with
+   --from); `top` polls a /metrics endpoint (bench --serve) and
+   renders per-table gauges with counter rates; `list` names the
+   available implementations. *)
 
 open Cmdliner
 module Factory = Nbhash_workload.Factory
@@ -175,39 +179,140 @@ let hist_cmd =
   in
   Cmd.v (Cmd.info "hist" ~doc:"Bucket occupancy histogram.") term
 
+(* Load a JSON input file for stats/trace --from; a missing or
+   unreadable path is an ordinary user error, reported on stderr with
+   a non-zero exit instead of an exception trace. *)
+let load_json_or_die path =
+  match Nbhash_util.Json.parse_file path with
+  | Ok doc -> doc
+  | Error msg ->
+    Printf.eprintf "error: cannot read %s\n" msg;
+    exit 1
+
+(* Pretty-print a previously scraped /snapshot.json (or stats --json
+   output): the meta block, then the non-zero counters, then span
+   summaries. *)
+let print_snapshot_file path =
+  let module J = Nbhash_util.Json in
+  let doc = load_json_or_die path in
+  (match J.member "meta" doc with
+  | Some (J.Obj fields) ->
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | J.Str s -> Printf.printf "meta.%-10s %s\n" k s
+        | J.Num n -> Printf.printf "meta.%-10s %g\n" k n
+        | _ -> ())
+      fields
+  | Some _ | None -> ());
+  (match J.member "counters" doc with
+  | Some (J.Obj fields) ->
+    List.iter
+      (fun (k, v) ->
+        match J.to_num v with
+        | Some n when n <> 0. -> Printf.printf "%-24s %.0f\n" k n
+        | _ -> ())
+      fields
+  | Some _ | None ->
+    Printf.eprintf "error: %s: no \"counters\" object — not a snapshot file\n"
+      path;
+    exit 1);
+  match J.member "spans" doc with
+  | Some (J.Obj fields) ->
+    List.iter
+      (fun (k, v) ->
+        let f name =
+          match Option.bind (J.member name v) J.to_num with
+          | Some n -> n
+          | None -> Float.nan
+        in
+        Printf.printf "%-24s n=%.0f p50=%.0f p99=%.0f max=%.0f\n" k (f "n")
+          (f "p50") (f "p99") (f "max"))
+      fields
+  | Some _ | None -> ()
+
 let stats_cmd =
   (* One measured run under a recording probe; the snapshot covers the
      measurement window only (the Runner resets at the barrier). *)
-  let stats table threads_list range_bits lookup duration presized seed json =
-    validate_table table;
-    Nbhash_telemetry.Global.install (Nbhash_telemetry.Probe.recording ());
-    List.iter
-      (fun threads ->
-        let last, _ =
-          measure table ~threads ~range_bits ~lookup ~duration ~trials:1
-            ~presized ~seed
-        in
-        Printf.printf "%s T=%d range=2^%d L=%.0f%%: %.3f ops/usec\n" table
-          threads range_bits (lookup *. 100.) last.Runner.throughput;
-        match last.Runner.telemetry with
-        | None -> print_endline "(no recording probe installed)"
-        | Some snap ->
-          if json then print_endline (Nbhash_telemetry.Snapshot.to_json snap)
-          else print_string (Nbhash_telemetry.Snapshot.to_string snap))
-      threads_list
+  let stats table threads_list range_bits lookup duration presized seed json
+      from =
+    match from with
+    | Some path -> print_snapshot_file path
+    | None ->
+      validate_table table;
+      Nbhash_telemetry.Global.install (Nbhash_telemetry.Probe.recording ());
+      List.iter
+        (fun threads ->
+          let last, _ =
+            measure table ~threads ~range_bits ~lookup ~duration ~trials:1
+              ~presized ~seed
+          in
+          Printf.printf "%s T=%d range=2^%d L=%.0f%%: %.3f ops/usec\n" table
+            threads range_bits (lookup *. 100.) last.Runner.throughput;
+          match last.Runner.telemetry with
+          | None -> print_endline "(no recording probe installed)"
+          | Some snap ->
+            if json then
+              print_endline
+                (Nbhash_telemetry.Snapshot.to_json
+                   ~meta:(Nbhash_telemetry.Meta.json ())
+                   snap)
+            else print_string (Nbhash_telemetry.Snapshot.to_string snap))
+        threads_list
   in
   let json_arg =
     let doc = "Print the snapshot as JSON instead of a table." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let from_arg =
+    let doc =
+      "Pretty-print a saved snapshot JSON file (a /snapshot.json scrape or \
+       stats --json output) instead of running a workload."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "from" ] ~docv:"FILE" ~doc)
+  in
   let term =
     Term.(
       const stats $ table_arg $ threads_list_arg $ range_arg $ lookup_arg
-      $ duration_arg $ presized_arg $ seed_arg $ json_arg)
+      $ duration_arg $ presized_arg $ seed_arg $ json_arg $ from_arg)
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Measure one implementation with telemetry.")
     term
+
+(* Summarize a previously written Chrome trace JSON file: event count
+   and per-name tallies. Accepts both the {"traceEvents":[...]}
+   wrapper and a bare event array. *)
+let print_trace_file path =
+  let module J = Nbhash_util.Json in
+  let doc = load_json_or_die path in
+  let events =
+    match J.member "traceEvents" doc with
+    | Some arr -> J.to_list arr
+    | None -> J.to_list doc
+  in
+  match events with
+  | None ->
+    Printf.eprintf "error: %s: no \"traceEvents\" array — not a trace file\n"
+      path;
+    exit 1
+  | Some events ->
+    let tally = Hashtbl.create 32 in
+    List.iter
+      (fun ev ->
+        let name =
+          match Option.bind (J.member "name" ev) J.to_str with
+          | Some n -> n
+          | None -> "(unnamed)"
+        in
+        Hashtbl.replace tally name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tally name)))
+      events;
+    Printf.printf "%s: %d trace events\n" path (List.length events);
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.iter (fun (name, n) -> Printf.printf "%8d  %s\n" n name)
 
 let trace_cmd =
   (* One measured run with the flight recorder installed; the Runner
@@ -235,12 +340,24 @@ let trace_cmd =
       Nbhash_telemetry.Trace.dump_tail ~n:tail Format.std_formatter tr;
     (match out with
     | None -> ()
-    | Some path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> Nbhash_telemetry.Trace.write_chrome oc tr);
-      Printf.printf "wrote %s — open it at https://ui.perfetto.dev\n" path)
+    | Some path -> (
+      match open_out path with
+      | oc ->
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> Nbhash_telemetry.Trace.write_chrome oc tr);
+        Printf.printf "wrote %s — open it at https://ui.perfetto.dev\n" path
+      | exception Sys_error msg ->
+        Printf.eprintf "error: cannot write %s\n" msg;
+        exit 1))
+  in
+  let trace_dispatch table threads_list range_bits lookup duration presized
+      seed out tail from =
+    match from with
+    | Some path -> print_trace_file path
+    | None ->
+      trace table threads_list range_bits lookup duration presized seed out
+        tail
   in
   let out_arg =
     let doc = "Write the merged trace as Chrome trace-event JSON to $(docv)." in
@@ -251,10 +368,19 @@ let trace_cmd =
     let doc = "Print the newest $(docv) merged records after the run." in
     Arg.(value & opt int 0 & info [ "tail" ] ~docv:"N" ~doc)
   in
+  let from_arg =
+    let doc =
+      "Summarize a saved Chrome trace JSON file instead of running a \
+       workload."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "from" ] ~docv:"FILE" ~doc)
+  in
   let term =
     Term.(
-      const trace $ table_arg $ threads_list_arg $ range_arg $ lookup_arg
-      $ duration_arg $ presized_arg $ seed_arg $ out_arg $ tail_arg)
+      const trace_dispatch $ table_arg $ threads_list_arg $ range_arg
+      $ lookup_arg $ duration_arg $ presized_arg $ seed_arg $ out_arg
+      $ tail_arg $ from_arg)
   in
   Cmd.v
     (Cmd.info "trace"
@@ -267,10 +393,194 @@ let list_cmd =
     (Cmd.info "list" ~doc:"List available implementations.")
     Term.(const list $ const ())
 
+(* --- top: a live terminal view over a /metrics endpoint --- *)
+
+(* One parsed OpenMetrics sample line: family name, label set, value.
+   Comment lines (# TYPE/# HELP/# EOF) are skipped. The parser only
+   needs to understand what Openmetrics.render emits. *)
+let parse_metric_line line =
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some sp -> (
+    let name_part = String.sub line 0 sp in
+    let value_part = String.sub line (sp + 1) (String.length line - sp - 1) in
+    match float_of_string_opt value_part with
+    | None -> None
+    | Some value ->
+      let family, labels =
+        match String.index_opt name_part '{' with
+        | None -> (name_part, [])
+        | Some b ->
+          let family = String.sub name_part 0 b in
+          let inner =
+            (* drop '{' and the trailing '}' *)
+            String.sub name_part (b + 1) (String.length name_part - b - 2)
+          in
+          let labels =
+            String.split_on_char ',' inner
+            |> List.filter_map (fun kv ->
+                   match String.index_opt kv '=' with
+                   | None -> None
+                   | Some eq ->
+                     let k = String.sub kv 0 eq in
+                     let v =
+                       String.sub kv (eq + 1) (String.length kv - eq - 1)
+                     in
+                     (* strip the quotes *)
+                     let v =
+                       if String.length v >= 2 && v.[0] = '"' then
+                         String.sub v 1 (String.length v - 2)
+                       else v
+                     in
+                     Some (k, v))
+          in
+          (family, labels)
+      in
+      Some (family, labels, value))
+
+let parse_metrics body =
+  String.split_on_char '\n' body
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None else parse_metric_line line)
+
+let render_top ~clear ~endpoint ~health ~interval ~prev samples =
+  let b = Buffer.create 4096 in
+  if clear then Buffer.add_string b "\027[H\027[2J";
+  Buffer.add_string b
+    (Printf.sprintf "nbhash top — %s — health: %s\n\n" endpoint health);
+  (* Per-table gauge rows, keyed by (table, instance). *)
+  let tables = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (family, labels, value) ->
+      match
+        (List.assoc_opt "table" labels, List.assoc_opt "instance" labels)
+      with
+      | Some table, Some instance
+        when String.length family > 13
+             && String.sub family 0 13 = "nbhash_table_" ->
+        let metric =
+          String.sub family 13 (String.length family - 13)
+        in
+        let key = (table, instance) in
+        if not (Hashtbl.mem tables key) then begin
+          Hashtbl.add tables key (Hashtbl.create 8);
+          order := key :: !order
+        end;
+        Hashtbl.replace (Hashtbl.find tables key) metric value
+      | _ -> ())
+    samples;
+  if !order <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "%-18s %8s %9s %6s %6s %7s %9s %8s\n" "TABLE" "BUCKETS"
+         "CARDINAL" "LOAD" "DEPTH" "FROZEN" "MIGRATE%" "PENDING");
+    List.iter
+      (fun ((table, instance) as key) ->
+        let m = Hashtbl.find tables key in
+        let g name = Option.value ~default:Float.nan (Hashtbl.find_opt m name) in
+        Buffer.add_string b
+          (Printf.sprintf "%-18s %8.0f %9.0f %6.2f %6.0f %7.0f %8.0f%% %8.0f\n"
+             (table ^ "#" ^ instance)
+             (g "buckets") (g "cardinal") (g "load_factor") (g "max_depth")
+             (g "frozen_buckets")
+             (100. *. g "migration_progress")
+             (g "announce_pending")))
+      (List.rev !order);
+    Buffer.add_char b '\n'
+  end;
+  (* Counter rates since the previous frame. *)
+  let counters =
+    List.filter_map
+      (fun (family, labels, value) ->
+        let n = String.length family in
+        if labels = [] && n > 6 && String.sub family (n - 6) 6 = "_total" then
+          Some (String.sub family 0 (n - 6), value)
+        else None)
+      samples
+  in
+  Buffer.add_string b
+    (Printf.sprintf "%-28s %14s %12s\n" "COUNTER" "TOTAL" "PER-SEC");
+  List.iter
+    (fun (name, value) ->
+      let rate =
+        match !prev with
+        | None -> Float.nan
+        | Some old -> (
+          match List.assoc_opt name old with
+          | Some v -> (value -. v) /. interval
+          | None -> Float.nan)
+      in
+      if value > 0. || (Float.is_finite rate && rate > 0.) then
+        Buffer.add_string b
+          (Printf.sprintf "%-28s %14.0f %12s\n" name value
+             (if Float.is_finite rate then Printf.sprintf "%.1f" rate
+              else "-")))
+    counters;
+  prev := Some counters;
+  print_string (Buffer.contents b);
+  flush stdout
+
+let top_cmd =
+  let top host port interval count =
+    let module MS = Nbhash_telemetry.Metrics_server in
+    let endpoint = Printf.sprintf "%s:%d" host port in
+    let clear = Unix.isatty Unix.stdout in
+    let prev = ref None in
+    let frames = ref 0 in
+    let continue = ref true in
+    while !continue do
+      (match MS.http_get ~host ~port "/metrics" with
+      | Error msg ->
+        Printf.eprintf "error: cannot scrape http://%s/metrics: %s\n" endpoint
+          msg;
+        exit 1
+      | Ok (code, _) when code <> 200 ->
+        Printf.eprintf "error: http://%s/metrics answered %d\n" endpoint code;
+        exit 1
+      | Ok (_, body) ->
+        let health =
+          match MS.http_get ~host ~port "/health" with
+          | Ok (200, _) -> "ok"
+          | Ok (503, body) -> "STALLED — " ^ String.trim body
+          | Ok (code, _) -> Printf.sprintf "unknown (%d)" code
+          | Error msg -> "unreachable (" ^ msg ^ ")"
+        in
+        render_top ~clear ~endpoint ~health ~interval ~prev
+          (parse_metrics body));
+      incr frames;
+      if count > 0 && !frames >= count then continue := false
+      else Unix.sleepf interval
+    done
+  in
+  let host_arg =
+    let doc = "Host serving /metrics (bench --serve or Metrics_server)." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let port_arg =
+    let doc = "Port of the metrics endpoint." in
+    Arg.(value & opt int 9464 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let interval_arg =
+    let doc = "Seconds between polls." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SEC" ~doc)
+  in
+  let count_arg =
+    let doc = "Stop after $(docv) frames (0 = run until interrupted)." in
+    Arg.(value & opt int 0 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let term =
+    Term.(const top $ host_arg $ port_arg $ interval_arg $ count_arg)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live terminal view of a running table's metrics endpoint.")
+    term
+
 let () =
   let doc = "dynamic-sized nonblocking hash table workbench" in
   let info = Cmd.info "nbhash_cli" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; sweep_cmd; hist_cmd; stats_cmd; trace_cmd; list_cmd ]))
+          [ run_cmd; sweep_cmd; hist_cmd; stats_cmd; trace_cmd; top_cmd; list_cmd ]))

@@ -86,5 +86,10 @@ module Make (F : Nbhash_fset.Fset_intf.WF) = struct
   let cardinal t = W.Core.cardinal t.w.W.core
   let elements t = W.Core.elements t.w.W.core
   let check_invariants t = W.Core.check_invariants t.w.W.core
+
+  let inspect t =
+    W.Core.inspect_with t.w.W.core
+      ~announce_pending:(Array.length (W.announced t.w))
+
   let pending_ops t = W.announced t.w
 end

@@ -440,6 +440,35 @@ let bucket_sizes t =
 
 let cardinal t = Array.length (elements t)
 
+(* Structural health snapshot; see Table_core.inspect_with. A slot is
+   frozen when its operation field reads [Frozen] — only predecessor
+   buckets freeze, so a quiescent table reports 0. *)
+let inspect t =
+  let hn = Atomic.get t.head in
+  let sizes = Array.init hn.size (fun i -> Array.length (bucket_set hn i)) in
+  let initialized = ref 0 in
+  let frozen = ref 0 in
+  let scan ~count_init b =
+    match Atomic.get b with
+    | N n -> (
+      if count_init then incr initialized;
+      match Atomic.get n.op with
+      | Frozen -> incr frozen
+      | Empty | Pending _ -> ())
+    | Uninit -> ()
+  in
+  Array.iter (scan ~count_init:true) hn.buckets;
+  let pred = Atomic.get hn.pred in
+  (match pred with
+  | Some s -> Array.iter (scan ~count_init:false) s.buckets
+  | None -> ());
+  let migrating = pred <> None in
+  Hashset_intf.make_view ~sizes ~frozen_buckets:!frozen ~migrating
+    ~migration_progress:
+      (if migrating then float_of_int !initialized /. float_of_int hn.size
+       else 1.0)
+    ~announce_pending:(Array.length (pending_ops t))
+
 let fail fmt = Format.kasprintf failwith fmt
 
 let check_invariants t =

@@ -280,6 +280,42 @@ let fold f t init = List.fold_left (fun acc (k, v) -> f k v acc) init (bindings 
 let bucket_count t = (Atomic.get t.head).size
 let force_resize h ~grow = resize h.table grow
 
+let bucket_sizes t =
+  let hn = Atomic.get t.head in
+  Array.init hn.size (fun i -> Array.length (bucket_pairs hn i))
+
+(* Structural health snapshot; see Table_core.inspect_with. Frozen
+   slots are [Node {ok = false}]. *)
+let inspect t =
+  let hn = Atomic.get t.head in
+  let sizes = Array.init hn.size (fun i -> Array.length (bucket_pairs hn i)) in
+  let initialized = ref 0 in
+  let frozen = ref 0 in
+  Array.iter
+    (fun b ->
+      match Atomic.get b with
+      | Node n ->
+        incr initialized;
+        if not n.ok then incr frozen
+      | Uninit -> ())
+    hn.buckets;
+  let pred = Atomic.get hn.pred in
+  (match pred with
+  | Some s ->
+    Array.iter
+      (fun b ->
+        match Atomic.get b with
+        | Node n -> if not n.ok then incr frozen
+        | Uninit -> ())
+      s.buckets
+  | None -> ());
+  let migrating = pred <> None in
+  Hashset_intf.make_view ~sizes ~frozen_buckets:!frozen ~migrating
+    ~migration_progress:
+      (if migrating then float_of_int !initialized /. float_of_int hn.size
+       else 1.0)
+    ~announce_pending:0
+
 let fail fmt = Format.kasprintf failwith fmt
 
 let check_invariants t =

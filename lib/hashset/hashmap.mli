@@ -42,6 +42,12 @@ val cardinal : 'v t -> int
 val bucket_count : 'v t -> int
 val force_resize : 'v handle -> grow:bool -> unit
 
+val bucket_sizes : 'v t -> int array
+(** Per-bucket binding counts. Exact only in quiescent states. *)
+
+val inspect : 'v t -> Hashset_intf.table_view
+(** Structural health snapshot; see {!Hashset_intf.S.inspect}. *)
+
 val bindings : 'v t -> (int * 'v) list
 (** Exact only in quiescent states. *)
 

@@ -12,6 +12,29 @@
 type resize_stats = { grows : int; shrinks : int }
 (** How many times the bucket array has doubled and halved. *)
 
+type table_view = {
+  buckets : int;  (** current bucket-array size (power of two) *)
+  cardinal : int;  (** total keys, summed over the depth census *)
+  load_factor : float;  (** [cardinal / buckets] *)
+  depth_census : int array;
+      (** [depth_census.(d)] = number of buckets holding exactly [d]
+          keys; length [max_depth + 1] *)
+  max_depth : int;  (** deepest bucket *)
+  frozen_buckets : int;
+      (** buckets currently in the frozen (immutable) state — nonzero
+          only while a migration window is open *)
+  migrating : bool;  (** the head HNode still has a predecessor *)
+  migration_progress : float;
+      (** fraction of head buckets already initialized; [1.0] when no
+          migration is in flight *)
+  announce_pending : int;
+      (** announced-but-incomplete operations (announce-array
+          occupancy); [0] for implementations without announce arrays *)
+}
+(** A structural health snapshot for live monitoring ({!S.inspect}).
+    Like {!S.bucket_sizes}, exact only in quiescent states: under
+    concurrent updates the census is a racy (but safe) read. *)
+
 module type S = sig
   type t
   type handle
@@ -66,6 +89,11 @@ module type S = sig
   (** Validate structural invariants (quiescent states only); raises
       [Failure] with a description on violation. For tests. *)
 
+  val inspect : t -> table_view
+  (** Structural health snapshot for live monitoring. Safe to call
+      concurrently with updates; values are exact in quiescent
+      states. *)
+
   val pending_ops : t -> (int * int) array
   (** Announced-but-incomplete operations as [(tid, priority)] pairs —
       the liveness signal sampled by [Nbhash_telemetry.Watchdog].
@@ -79,3 +107,26 @@ end
 let check_key k =
   if k < 0 || k >= 1 lsl 61 then
     invalid_arg "key must be a non-negative int below 2^61"
+
+let census_of_sizes sizes =
+  let max_depth = Array.fold_left max 0 sizes in
+  let census = Array.make (max_depth + 1) 0 in
+  Array.iter (fun d -> census.(d) <- census.(d) + 1) sizes;
+  census
+
+let make_view ~sizes ~frozen_buckets ~migrating ~migration_progress
+    ~announce_pending =
+  let buckets = Array.length sizes in
+  let cardinal = Array.fold_left ( + ) 0 sizes in
+  let census = census_of_sizes sizes in
+  {
+    buckets;
+    cardinal;
+    load_factor = float_of_int cardinal /. float_of_int (max 1 buckets);
+    depth_census = census;
+    max_depth = Array.length census - 1;
+    frozen_buckets;
+    migrating;
+    migration_progress;
+    announce_pending;
+  }

@@ -61,5 +61,6 @@ module Make (F : Nbhash_fset.Fset_intf.S) : Hashset_intf.S = struct
   let cardinal = Core.cardinal
   let elements = Core.elements
   let check_invariants = Core.check_invariants
+  let inspect t = Core.inspect_with t ~announce_pending:0
   let pending_ops _ = [||]
 end

@@ -277,6 +277,40 @@ let bucket_sizes t =
 
 let cardinal t = Array.length (elements t)
 
+(* Structural health snapshot; see Table_core.inspect_with. Frozen
+   slots are [Node {ok = false}] — only predecessor buckets freeze, so
+   a quiescent table reports 0. *)
+let inspect t =
+  let hn = Atomic.get t.head in
+  let sizes = Array.init hn.size (fun i -> Array.length (bucket_set hn i)) in
+  let initialized = ref 0 in
+  let frozen = ref 0 in
+  let scan b =
+    match Atomic.get b with
+    | Node n ->
+      incr initialized;
+      if not n.ok then incr frozen
+    | Uninit -> ()
+  in
+  Array.iter scan hn.buckets;
+  let head_initialized = !initialized in
+  let pred = Atomic.get hn.pred in
+  (match pred with
+  | Some s ->
+    Array.iter
+      (fun b ->
+        match Atomic.get b with
+        | Node n -> if not n.ok then incr frozen
+        | Uninit -> ())
+      s.buckets
+  | None -> ());
+  let migrating = pred <> None in
+  Hashset_intf.make_view ~sizes ~frozen_buckets:!frozen ~migrating
+    ~migration_progress:
+      (if migrating then float_of_int head_initialized /. float_of_int hn.size
+       else 1.0)
+    ~announce_pending:0
+
 let fail fmt = Format.kasprintf failwith fmt
 
 let check_invariants t =

@@ -261,6 +261,43 @@ module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
 
   let cardinal t = Array.length (elements t)
 
+  (* Structural health snapshot. [frozen_buckets] counts frozen
+     fsets reachable from the head and its predecessor; the head's own
+     buckets are never frozen (only predecessors freeze), so a
+     quiescent table reports 0. [migration_progress] is the fraction
+     of head buckets already initialized — the same quantity the
+     resizer's index loop drives to 1. Racy but safe under concurrent
+     updates. *)
+  let inspect_with t ~announce_pending =
+    let hn = Atomic.get t.head in
+    let sizes = Array.init hn.size (fun i -> Array.length (bucket_set hn i)) in
+    let initialized = ref 0 in
+    let frozen = ref 0 in
+    Array.iter
+      (fun b ->
+        match Atomic.get b with
+        | Some b ->
+          incr initialized;
+          if F.is_frozen b then incr frozen
+        | None -> ())
+      hn.buckets;
+    let pred = Atomic.get hn.pred in
+    (match pred with
+    | Some s ->
+      Array.iter
+        (fun b ->
+          match Atomic.get b with
+          | Some b -> if F.is_frozen b then incr frozen
+          | None -> ())
+        s.buckets
+    | None -> ());
+    let migrating = pred <> None in
+    Hashset_intf.make_view ~sizes ~frozen_buckets:!frozen ~migrating
+      ~migration_progress:
+        (if migrating then float_of_int !initialized /. float_of_int hn.size
+         else 1.0)
+      ~announce_pending
+
   let fail fmt = Format.kasprintf failwith fmt
 
   (* Structural sanity for quiescent states: key placement, the

@@ -388,6 +388,49 @@ let resize_stats t =
 
 let force_resize h ~grow = resize h.table grow
 
+let bucket_sizes t =
+  let hn = Atomic.get t.head in
+  Array.init hn.size (fun i -> Array.length (bucket_pairs hn i))
+
+(* Announce-array occupancy, as in Adaptive_hashset_opt.pending_ops. *)
+let announce_pending t =
+  let n = ref 0 in
+  Array.iter
+    (fun slot ->
+      match Atomic.get slot with
+      | Some op when not (op_is_done op) -> incr n
+      | Some _ | None -> ())
+    t.slots;
+  !n
+
+(* Structural health snapshot; see Table_core.inspect_with. A slot is
+   frozen when its operation field reads [Frozen]. *)
+let inspect t =
+  let hn = Atomic.get t.head in
+  let sizes = Array.init hn.size (fun i -> Array.length (bucket_pairs hn i)) in
+  let initialized = ref 0 in
+  let frozen = ref 0 in
+  let scan ~count_init b =
+    match Atomic.get b with
+    | N n -> (
+      if count_init then incr initialized;
+      match Atomic.get n.op with
+      | Frozen -> incr frozen
+      | Empty | Pending _ -> ())
+    | Uninit -> ()
+  in
+  Array.iter (scan ~count_init:true) hn.buckets;
+  let pred = Atomic.get hn.pred in
+  (match pred with
+  | Some s -> Array.iter (scan ~count_init:false) s.buckets
+  | None -> ());
+  let migrating = pred <> None in
+  Hashset_intf.make_view ~sizes ~frozen_buckets:!frozen ~migrating
+    ~migration_progress:
+      (if migrating then float_of_int !initialized /. float_of_int hn.size
+       else 1.0)
+    ~announce_pending:(announce_pending t)
+
 let fail fmt = Format.kasprintf failwith fmt
 
 let check_invariants t =

@@ -41,5 +41,10 @@ module Make (F : Nbhash_fset.Fset_intf.WF) : Hashset_intf.S = struct
   let cardinal t = W.Core.cardinal t.W.core
   let elements t = W.Core.elements t.W.core
   let check_invariants t = W.Core.check_invariants t.W.core
+
+  let inspect t =
+    W.Core.inspect_with t.W.core
+      ~announce_pending:(Array.length (W.announced t))
+
   let pending_ops = W.announced
 end

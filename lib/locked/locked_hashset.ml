@@ -131,3 +131,8 @@ let check_invariants t =
 
 (* No announce array: nothing for the liveness watchdog to sample. *)
 let pending_ops _ = [||]
+
+(* Resizes happen atomically under the lock: no migration window. *)
+let inspect t =
+  Hashset_intf.make_view ~sizes:(bucket_sizes t) ~frozen_buckets:0
+    ~migrating:false ~migration_progress:1.0 ~announce_pending:0

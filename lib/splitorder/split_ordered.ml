@@ -171,3 +171,9 @@ let check_invariants t =
 
 (* No announce array: nothing for the liveness watchdog to sample. *)
 let pending_ops _ = [||]
+
+(* Buckets split incrementally and never freeze: no migration window
+   to report. *)
+let inspect t =
+  Hashset_intf.make_view ~sizes:(bucket_sizes t) ~frozen_buckets:0
+    ~migrating:false ~migration_progress:1.0 ~announce_pending:0

@@ -1,0 +1,252 @@
+(* A minimal HTTP/1.1 observability endpoint on stdlib Unix sockets,
+   run on its own domain so scraping never borrows a workload thread.
+
+   Routes:
+     /metrics        OpenMetrics text (counters, span histograms, gauges)
+     /snapshot.json  ambient-probe snapshot with the bench meta block
+     /health         watchdog verdict: 200 when no announced operation
+                     is stalled, 503 with the stall list otherwise
+     /trace.json     Chrome trace-event JSON of the active flight
+                     recorder; 404 when tracing is off
+
+   Deliberately minimal: GET only, one request per connection
+   (Connection: close), no keep-alive, no TLS — the intended client is
+   curl, a Prometheus scraper on localhost, or nbhash_cli top. The
+   accept loop handles one request at a time; a scrape is a few
+   milliseconds, and serializing scrapes is what makes the exporter's
+   monotone accumulators safe.
+
+   The watchdog passed to [start] (or created by it) becomes owned by
+   the server domain: watchdogs are single-owner, so the caller must
+   not poll it elsewhere. Graceful shutdown: [stop] raises a flag and
+   closes the listening socket, which wakes the blocked accept. *)
+
+module Atomic = Nbhash_util.Nb_atomic
+
+type t = {
+  port : int;
+  addr : string;
+  stopping : bool Atomic.t;
+  listen_fd : Unix.file_descr;
+  domain : unit Domain.t;
+}
+
+let port t = t.port
+
+let http_status = function
+  | 200 -> "200 OK"
+  | 404 -> "404 Not Found"
+  | 503 -> "503 Service Unavailable"
+  | code -> string_of_int code ^ " Error"
+
+let write_response fd ~code ~content_type body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+       close\r\n\r\n"
+      (http_status code) content_type (String.length body)
+  in
+  let send s =
+    let n = String.length s in
+    let sent = ref 0 in
+    while !sent < n do
+      sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+    done
+  in
+  send head;
+  send body
+
+let health_body watchdog =
+  match watchdog with
+  | None -> (200, "ok (no watchdog)\n")
+  | Some w -> (
+    match Watchdog.poll w with
+    | [] -> (200, "ok\n")
+    | stalls ->
+      ( 503,
+        String.concat ""
+          (List.map
+             (fun s -> Format.asprintf "%a@." Watchdog.pp_stall s)
+             stalls) ))
+
+let handle_request ~watchdog fd target =
+  match target with
+  | "/metrics" ->
+    write_response fd ~code:200 ~content_type:Openmetrics.content_type
+      (Openmetrics.render ())
+  | "/snapshot.json" ->
+    write_response fd ~code:200 ~content_type:"application/json"
+      (Snapshot.to_json ~meta:(Meta.json ()) (Probe.snapshot (Global.get ())))
+  | "/health" ->
+    let code, body = health_body watchdog in
+    write_response fd ~code ~content_type:"text/plain" body
+  | "/trace.json" -> (
+    match Trace.active () with
+    | Some tr ->
+      write_response fd ~code:200 ~content_type:"application/json"
+        (Trace.to_chrome_string tr)
+    | None ->
+      write_response fd ~code:404 ~content_type:"text/plain"
+        "tracing is not active\n")
+  | _ -> write_response fd ~code:404 ~content_type:"text/plain" "not found\n"
+
+(* Read up to the end of the request head; only the request line
+   matters. Bounded read so a misbehaving client cannot hold the
+   server: 8 KiB of headers or we answer anyway. *)
+let read_request_line fd =
+  let buf = Bytes.create 8192 in
+  let filled = ref 0 in
+  let done_ = ref false in
+  (try
+     while (not !done_) && !filled < Bytes.length buf do
+       let n = Unix.read fd buf !filled (Bytes.length buf - !filled) in
+       if n = 0 then done_ := true
+       else begin
+         filled := !filled + n;
+         let s = Bytes.sub_string buf 0 !filled in
+         if
+           String.length s >= 4
+           && (String.index_opt s '\n' <> None)
+           && (let len = String.length s in
+               String.sub s (len - 4) 4 = "\r\n\r\n"
+               || String.sub s (len - 2) 2 = "\n\n")
+         then done_ := true
+         else if String.index_opt s '\n' <> None then
+           (* We have the request line; headers may still be in
+              flight, but we never read a body, so proceed. *)
+           done_ := true
+       end
+     done
+   with Unix.Unix_error _ -> ());
+  let s = Bytes.sub_string buf 0 !filled in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i -> (
+    let line = String.trim (String.sub s 0 i) in
+    match String.split_on_char ' ' line with
+    | [ "GET"; target; _version ] -> Some target
+    | [ "GET"; target ] -> Some target
+    | _ -> None)
+
+let serve_connection ~watchdog fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match read_request_line fd with
+      | Some target -> handle_request ~watchdog fd target
+      | None ->
+        write_response fd ~code:404 ~content_type:"text/plain"
+          "unsupported request\n")
+
+let accept_loop ~watchdog ~stopping listen_fd =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept listen_fd with
+    | fd, _ ->
+      if Atomic.get stopping then begin
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        continue := false
+      end
+      else begin
+        (try serve_connection ~watchdog fd
+         with Unix.Unix_error _ | Sys_error _ -> ());
+        if Atomic.get stopping then continue := false
+      end
+    | exception Unix.Unix_error _ ->
+      (* stop closed the listening socket (or accept failed hard);
+         either way the server is done. *)
+      continue := false
+  done
+
+let start ?(addr = "127.0.0.1") ?(port = 0) ?watchdog () =
+  let inet = Unix.inet_addr_of_string addr in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (Unix.ADDR_INET (inet, port));
+     Unix.listen listen_fd 16
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let stopping = Atomic.make false in
+  let domain =
+    Domain.spawn (fun () -> accept_loop ~watchdog ~stopping listen_fd)
+  in
+  { port = bound_port; addr; stopping; listen_fd; domain }
+
+let stop t =
+  Atomic.set t.stopping true;
+  (* Waking the blocked accept needs [shutdown], not [close]: on
+     Linux, closing a socket another thread is blocked in accept(2) on
+     does NOT interrupt the accept. shutdown(2) on the listening
+     socket wakes it with EINVAL; the self-connection below is the
+     belt-and-braces fallback for stacks where shutdown on a listening
+     socket is a no-op. *)
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+   with Unix.Unix_error _ -> ());
+  (try
+     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+     Fun.protect
+       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+       (fun () ->
+         Unix.connect fd
+           (Unix.ADDR_INET (Unix.inet_addr_of_string t.addr, t.port)))
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  Domain.join t.domain;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+
+(* Minimal matching client (nbhash_cli top, the test suite): one GET,
+   [(status, body)] or [Error msg] on any socket-level failure. *)
+let http_get ?(host = "127.0.0.1") ~port path =
+  match
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        let req =
+          Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
+            path host
+        in
+        let n = String.length req in
+        let sent = ref 0 in
+        while !sent < n do
+          sent := !sent + Unix.write_substring fd req !sent (n - !sent)
+        done;
+        let buf = Bytes.create 65536 in
+        let b = Buffer.create 65536 in
+        let rec drain () =
+          let r = Unix.read fd buf 0 (Bytes.length buf) in
+          if r > 0 then begin
+            Buffer.add_subbytes b buf 0 r;
+            drain ()
+          end
+        in
+        drain ();
+        Buffer.contents b)
+  with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | raw -> (
+    (* "HTTP/1.1 <code> ...\r\n...\r\n\r\n<body>" *)
+    match String.index_opt raw ' ' with
+    | None -> Error "malformed response"
+    | Some sp -> (
+      let code =
+        try int_of_string (String.trim (String.sub raw (sp + 1) 3))
+        with _ -> 0
+      in
+      let rec body_from i =
+        if i + 3 >= String.length raw then None
+        else if String.sub raw i 4 = "\r\n\r\n" then Some (i + 4)
+        else if String.sub raw i 2 = "\n\n" then Some (i + 2)
+        else body_from (i + 1)
+      in
+      match body_from 0 with
+      | None -> Error "malformed response (no header terminator)"
+      | Some start ->
+        Ok (code, String.sub raw start (String.length raw - start))))

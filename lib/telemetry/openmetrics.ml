@@ -1,0 +1,196 @@
+(* OpenMetrics/Prometheus text rendering of the ambient probe plus the
+   gauge registry: one counter family per Event, one histogram family
+   per span, one gauge family per registered gauge name. The body ends
+   with "# EOF" as the OpenMetrics 1.0 spec requires.
+
+   Counters must be monotone from a scraper's point of view, but the
+   probe is not: Runner.run resets it at every trial's measurement
+   barrier. The [ctr_*]/[hbk_*] accumulators below detect resets (a
+   raw reading below the previous one) and fold the pre-reset total
+   into a base, so the exported series only ever grows. They are plain
+   mutable arrays: rendering is assumed single-scraper (the metrics
+   server serializes scrapes on its own domain), which is the standard
+   Prometheus deployment shape. *)
+
+let histogram_buckets = Histogram.buckets
+
+let ctr_base = Array.make Event.count 0
+let ctr_last = Array.make Event.count 0
+let hbk_base = Array.make (Event.span_count * histogram_buckets) 0
+let hbk_last = Array.make (Event.span_count * histogram_buckets) 0
+
+let monotone base last i raw =
+  if raw < last.(i) then base.(i) <- base.(i) + last.(i);
+  last.(i) <- raw;
+  base.(i) + raw
+
+(* For tests: forget accumulated bases so a fresh probe reads from
+   zero again. Not part of the scrape path. *)
+let reset_accumulators () =
+  Array.fill ctr_base 0 Event.count 0;
+  Array.fill ctr_last 0 Event.count 0;
+  Array.fill hbk_base 0 (Array.length hbk_base) 0;
+  Array.fill hbk_last 0 (Array.length hbk_last) 0
+
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let label_set labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           labels)
+    ^ "}"
+
+(* Short decimal for le bounds and gauge values: integers print bare,
+   everything else through %.17g (round-trips doubles). *)
+let number x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let counter_help ev =
+  match (ev : Event.t) with
+  | Cas_retry -> "Operations that re-ran a CAS loop (lost CAS or frozen node)"
+  | Bucket_init -> "Lazy bucket migrations that installed a new head bucket"
+  | Keys_migrated -> "Keys copied into freshly initialized buckets"
+  | Freeze -> "Buckets transitioned to the frozen (immutable) state"
+  | Resize_grow -> "Head HNode replacements by a double-sized one"
+  | Resize_shrink -> "Head HNode replacements by a half-sized one"
+  | Help_op -> "Announced operations driven by the helping scan"
+  | Slowpath_entry -> "Operations that entered the announce-and-help slow path"
+  | Fastpath_entry -> "Adaptive operations that entered the lock-free fast path"
+  | Counter_flush -> "Per-handle approximate-count delta batches flushed"
+  | Contains_pred -> "CONTAINS lookups that fell back to a predecessor bucket"
+  | Sweep_chunk_claimed -> "Bucket chunks claimed from the sweep cursor"
+  | Sweep_buckets_migrated -> "Buckets processed by cooperative sweep chunks"
+
+let span_help s =
+  match (s : Event.span) with
+  | Resize_span -> "RESIZE duration, nanoseconds"
+  | Slowpath_span -> "Announce-and-help slow path duration, nanoseconds"
+  | Sweep_span -> "Sweep chunk migration duration, nanoseconds"
+  | Sweep_helpers -> "Distinct domains that claimed chunks during one migration"
+
+let render_counters b probe =
+  List.iter
+    (fun ev ->
+      let i = Event.index ev in
+      let raw =
+        match (probe : Probe.t) with
+        | Noop -> ctr_last.(i)  (* no live probe: hold the last reading *)
+        | Recording r -> Counters.read r.counters ev
+      in
+      let v = monotone ctr_base ctr_last i raw in
+      let family = "nbhash_" ^ Event.to_string ev in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" family);
+      Buffer.add_string b
+        (Printf.sprintf "# HELP %s %s\n" family (escape_help (counter_help ev)));
+      Buffer.add_string b (Printf.sprintf "%s_total %d\n" family v))
+    Event.all
+
+let render_histograms b probe =
+  List.iter
+    (fun s ->
+      let si = Event.span_index s in
+      let raw =
+        match (probe : Probe.t) with
+        | Noop ->
+          Array.init histogram_buckets (fun i ->
+              hbk_last.((si * histogram_buckets) + i))
+        | Recording r -> Histogram.counts r.spans.(si)
+      in
+      let counts =
+        Array.init histogram_buckets (fun i ->
+            let j = (si * histogram_buckets) + i in
+            monotone hbk_base hbk_last j raw.(i))
+      in
+      let family = "nbhash_" ^ Event.span_to_string s in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" family);
+      Buffer.add_string b
+        (Printf.sprintf "# HELP %s %s\n" family (escape_help (span_help s)));
+      let last_nonempty = ref (-1) in
+      Array.iteri (fun i c -> if c > 0 then last_nonempty := i) counts;
+      let cum = ref 0 in
+      let sum = ref 0. in
+      for i = 0 to !last_nonempty do
+        cum := !cum + counts.(i);
+        sum := !sum +. (float_of_int counts.(i) *. Histogram.representative i);
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" family
+             (number (Float.ldexp 1. (i + 1)))
+             !cum)
+      done;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" family !cum);
+      Buffer.add_string b (Printf.sprintf "%s_sum %s\n" family (number !sum));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" family !cum))
+    Event.all_spans
+
+let render_gauges b =
+  let samples = Gauge.read_all () in
+  (* Group by family (all samples of a family must be contiguous),
+     preserving first-appearance order. *)
+  let order = ref [] in
+  let by_family : (string, Gauge.sample list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (s : Gauge.sample) ->
+      match Hashtbl.find_opt by_family s.name with
+      | Some l -> l := s :: !l
+      | None ->
+        Hashtbl.add by_family s.name (ref [ s ]);
+        order := s.name :: !order)
+    samples;
+  List.iter
+    (fun family ->
+      let group = List.rev !(Hashtbl.find by_family family) in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" family);
+      (match group with
+      | { Gauge.help; _ } :: _ when help <> "" ->
+        Buffer.add_string b
+          (Printf.sprintf "# HELP %s %s\n" family (escape_help help))
+      | _ -> ());
+      List.iter
+        (fun (s : Gauge.sample) ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %s\n" s.name (label_set s.labels)
+               (number s.value)))
+        group)
+    (List.rev !order)
+
+let render () =
+  let b = Buffer.create 4096 in
+  let probe = Global.get () in
+  render_counters b probe;
+  render_histograms b probe;
+  render_gauges b;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let content_type =
+  "application/openmetrics-text; version=1.0.0; charset=utf-8"

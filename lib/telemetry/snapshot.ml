@@ -54,7 +54,11 @@ let json_summary (s : Nbhash_util.Stats.summary) =
     (json_float s.Nbhash_util.Stats.p99)
     (json_float s.Nbhash_util.Stats.max)
 
-let to_json t =
+(* [meta], when given, is a ready-made JSON object (see Meta.json) and
+   leads the document so scraped snapshots carry the same provenance
+   block as bench artifacts. Omitting it keeps the historical
+   two-key shape exactly. *)
+let to_json ?meta t =
   let counters =
     String.concat ","
       (List.map
@@ -67,4 +71,8 @@ let to_json t =
          (fun (name, s) -> Printf.sprintf "\"%s\":%s" name (json_summary s))
          t.spans)
   in
-  Printf.sprintf "{\"counters\":{%s},\"spans\":{%s}}" counters spans
+  match meta with
+  | None -> Printf.sprintf "{\"counters\":{%s},\"spans\":{%s}}" counters spans
+  | Some m ->
+    Printf.sprintf "{\"meta\":%s,\"counters\":{%s},\"spans\":{%s}}" m counters
+      spans

@@ -23,6 +23,8 @@
    clock is monotonic (CLOCK_MONOTONIC), so ages are non-negative and
    a wall-clock step can neither mass-report stalls nor hide one. *)
 
+module Atomic = Nbhash_util.Nb_atomic
+
 type source = {
   name : string;
   pending : unit -> (int * int) array;
@@ -33,7 +35,9 @@ type stall = { source : string; tid : int; token : int; age_ns : int }
 
 type t = {
   max_age_ns : int;
-  sources : source list;
+  sources : unit -> source list;
+      (* re-evaluated per poll, so a watchdog can follow a dynamic
+         registry (see [global]) as tables come and go *)
   first_seen : (string * int * int, int) Hashtbl.t;
 }
 
@@ -41,7 +45,40 @@ let default_max_age_ns = 1_000_000_000
 
 let create ?(max_age_ns = default_max_age_ns) sources =
   if max_age_ns <= 0 then invalid_arg "Watchdog.create: max_age_ns <= 0";
-  { max_age_ns; sources; first_seen = Hashtbl.create 64 }
+  { max_age_ns; sources = (fun () -> sources); first_seen = Hashtbl.create 64 }
+
+(* --- the process-wide source registry --- *)
+
+(* Tables register their announce arrays here (via Factory attach) so
+   a single watchdog — typically the metrics server's, backing the
+   /health endpoint — can see every live table without threading a
+   list through the program. A CAS-swapped immutable list, same shape
+   as Gauge's registry. *)
+
+type registered = { id : int; src : source }
+
+let next_id = Atomic.make 0
+let registry : registered list Atomic.t = Atomic.make []
+
+let rec swap f =
+  let cur = Atomic.get registry in
+  if not (Atomic.compare_and_set registry cur (f cur)) then swap f
+
+let register_source ~name pending =
+  let id = Atomic.fetch_and_add next_id 1 in
+  swap (fun l -> { id; src = { name; pending } } :: l);
+  id
+
+let unregister_source id = swap (List.filter (fun r -> r.id <> id))
+
+let registered_sources () =
+  List.rev_map (fun r -> r.src) (Atomic.get registry)
+
+(* A watchdog over the registry: each poll sees the tables registered
+   at that instant. Still single-owner — poll it from one domain. *)
+let global ?(max_age_ns = default_max_age_ns) () =
+  if max_age_ns <= 0 then invalid_arg "Watchdog.global: max_age_ns <= 0";
+  { max_age_ns; sources = registered_sources; first_seen = Hashtbl.create 64 }
 
 let poll t =
   let now = Nbhash_util.Clock.now_ns () in
@@ -64,7 +101,7 @@ let poll t =
           if age > t.max_age_ns then
             stalls := { source = src.name; tid; token; age_ns = age } :: !stalls)
         (src.pending ()))
-    t.sources;
+    (t.sources ());
   (* Forget operations that completed since the last poll, so a reused
      announce slot starts a fresh age. *)
   let dead =

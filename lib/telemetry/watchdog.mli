@@ -29,6 +29,19 @@ val default_max_age_ns : int
 
 val create : ?max_age_ns:int -> source list -> t
 
+val register_source : name:string -> (unit -> (int * int) array) -> int
+(** Add a source to the process-wide registry sampled by {!global}
+    watchdogs; returns a token for {!unregister_source}. Tables do
+    this automatically through the Factory attach path. *)
+
+val unregister_source : int -> unit
+(** Remove a registry entry. Idempotent. *)
+
+val global : ?max_age_ns:int -> unit -> t
+(** A watchdog over the process-wide registry: each {!poll} samples
+    whatever sources are registered at that moment. Single-owner like
+    any other watchdog — poll from one domain only. *)
+
 val poll : t -> stall list
 (** One sample: update first-seen times, drop completed operations,
     report those pending longer than [max_age_ns]. A stalled operation

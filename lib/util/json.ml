@@ -218,6 +218,24 @@ let parse s =
 let parse_exn s =
   match parse s with Ok v -> v | Error msg -> failwith msg
 
+(* File variant with I/O errors folded into the result, so CLI
+   consumers get a printable message for a missing or unreadable path
+   instead of an exception. *)
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> (
+    match parse s with
+    | Ok v -> Ok v
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file ->
+    Error (Printf.sprintf "%s: truncated while reading" path)
+
 let member k = function
   | Obj fields -> List.assoc_opt k fields
   | _ -> None

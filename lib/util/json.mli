@@ -27,6 +27,11 @@ val parse : string -> (t, string) result
 val parse_exn : string -> t
 (** @raise Failure on invalid input. *)
 
+val parse_file : string -> (t, string) result
+(** Read and parse a whole file. I/O failures (missing, unreadable,
+    truncated) come back as [Error] with a printable message, never as
+    an exception. *)
+
 (** Accessors; all return [None] on a shape mismatch. [member] returns
     the first binding of the key. *)
 

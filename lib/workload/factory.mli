@@ -29,6 +29,15 @@ type table = {
   pending : unit -> (int * int) array;
       (** {!Nbhash.Hashset_intf.S.pending_ops}: the announce-array
           snapshot a {!Nbhash_telemetry.Watchdog} source samples. *)
+  inspect : unit -> Nbhash.Hashset_intf.table_view;
+      (** {!Nbhash.Hashset_intf.S.inspect}: the structural health
+          snapshot behind the table's registered gauges. *)
+  close : unit -> unit;
+      (** Unregister the health gauges and watchdog source this table
+          auto-registered at creation. Call when the table is retired;
+          idempotent only in effect (a second call is a no-op because
+          the registrations are already gone). A table dropped without
+          [close] leaves stale gauges that keep it alive. *)
 }
 
 type maker = ?policy:Nbhash.Policy.t -> ?max_threads:int -> unit -> table

@@ -81,7 +81,11 @@ let run_trials make_table ~threads ~spec ~duration ~trials =
   let results =
     List.init trials (fun i ->
         let table = make_table () in
-        run table ~threads ~spec ~duration ~seed:(42 + (100 * i)) ())
+        let r = run table ~threads ~spec ~duration ~seed:(42 + (100 * i)) () in
+        (* Retire the trial's gauges/watchdog registrations so a serve
+           endpoint only ever exposes live tables. *)
+        table.Factory.close ();
+        r)
   in
   let throughputs =
     Array.of_list (List.map (fun r -> r.throughput) results)

@@ -42,10 +42,12 @@ let expected_final =
 
 let churn (module S : Nbhash.Hashset_intf.S) () =
   with_probe (fun p ->
+      (* domains workers + trigger + the accounting handle + the
+         inspector-drain handle at the end. *)
       let t =
         S.create
           ~policy:{ Nbhash.Policy.default with init_buckets = 4 }
-          ~max_threads:(domains + 2) ()
+          ~max_threads:(domains + 3) ()
       in
       let barrier = Atomic.make 0 in
       let worker d () =
@@ -140,7 +142,27 @@ let churn (module S : Nbhash.Hashset_intf.S) () =
       Alcotest.(check int) "every bucket installed exactly once" buckets
         (Snapshot.get snap Event.Bucket_init);
       Alcotest.(check int) "cardinal unchanged by migration" cardinal
-        (S.cardinal t))
+        (S.cardinal t);
+      (* The structural inspector agrees: drain whatever window the
+         last resize left open (updates help via the sweep), then the
+         view must report a fully migrated table — progress exactly
+         1.0, not merely close. *)
+      let h = S.register t in
+      let budget = ref 100_000 in
+      while
+        (S.inspect t).Nbhash.Hashset_intf.migrating && !budget > 0
+      do
+        ignore (S.insert h 9_999_999);
+        ignore (S.remove h 9_999_999);
+        decr budget
+      done;
+      S.unregister h;
+      let v = S.inspect t in
+      Alcotest.(check bool) "migration window drained" false
+        v.Nbhash.Hashset_intf.migrating;
+      Alcotest.(check (float 0.))
+        "inspector progress reaches exactly 1.0" 1.0
+        v.Nbhash.Hashset_intf.migration_progress)
 
 (* The same storm with the sweep disabled must agree on membership:
    the lazy path alone remains correct (it is the backstop). *)

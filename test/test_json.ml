@@ -88,6 +88,44 @@ let test_accessors () =
   Alcotest.(check (option string)) "member on non-object" None
     (Option.bind (Json.member "k" (ok "[]")) Json.to_str)
 
+(* [parse_file] is what nbhash_cli stats/trace --from reads through: a
+   missing path must come back as a printable [Error] (the CLI turns
+   it into exit 1 + stderr), not an exception; a real file round-trips. *)
+let test_parse_file () =
+  (match Json.parse_file "/nonexistent/nbhash-no-such-file.json" with
+  | Error msg ->
+    Alcotest.(check bool) "error names the path" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "missing file parsed");
+  let path = Filename.temp_file "nbhash_json_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"a\":[1,2,3],\"b\":\"x\"}";
+      close_out oc;
+      match Json.parse_file path with
+      | Ok v ->
+        Alcotest.(check (option (list string)))
+          "round-trip keys"
+          (Some [ "a"; "b" ])
+          (Json.keys v)
+      | Error msg -> Alcotest.failf "parse_file failed on real file: %s" msg);
+  let bad = Filename.temp_file "nbhash_json_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove bad with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out bad in
+      output_string oc "{not json";
+      close_out oc;
+      match Json.parse_file bad with
+      | Error msg ->
+        (* Parse errors are prefixed with the path for CLI messages. *)
+        Alcotest.(check bool) "parse error carries the path" true
+          (String.length msg > String.length bad
+          && String.sub msg 0 (String.length bad) = bad)
+      | Ok _ -> Alcotest.fail "malformed file parsed")
+
 let suite =
   [
     ( "json",
@@ -97,5 +135,7 @@ let suite =
         Alcotest.test_case "arrays and objects" `Quick test_structures;
         Alcotest.test_case "malformed input rejected" `Quick test_rejects;
         Alcotest.test_case "accessors" `Quick test_accessors;
+        Alcotest.test_case "parse_file errors and round-trip" `Quick
+          test_parse_file;
       ] );
   ]

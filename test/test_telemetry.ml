@@ -292,11 +292,31 @@ let test_snapshot_json_shape () =
     | Json.Null | Json.Bool _ | Json.Str _ -> true
   in
   Alcotest.(check bool) "all numbers finite" true (all_finite doc);
-  match Option.bind (Json.member "spans" doc) Json.keys with
+  (match Option.bind (Json.member "spans" doc) Json.keys with
   | Some keys ->
     Alcotest.(check bool) "recorded span serialised" true
       (List.mem (Event.span_to_string Event.Sweep_span) keys)
-  | None -> Alcotest.fail "spans is not an object"
+  | None -> Alcotest.fail "spans is not an object");
+  (* The [~meta] variant (what /snapshot.json serves) prepends the
+     bench meta block and leaves the rest of the shape untouched. *)
+  let meta_doc =
+    match
+      Json.parse (Snapshot.to_json ~meta:(Nbhash_telemetry.Meta.json ()) snap)
+    with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "snapshot+meta JSON does not parse: %s" e
+  in
+  Alcotest.(check (option (list string)))
+    "top-level shape with meta"
+    (Some [ "meta"; "counters"; "spans" ])
+    (Json.keys meta_doc);
+  Alcotest.(check (option (list string)))
+    "meta block keys"
+    (Some [ "git_rev"; "domains"; "ocaml"; "hostname"; "timestamp" ])
+    (Option.bind (Json.member "meta" meta_doc) Json.keys);
+  Alcotest.(check (option (list string)))
+    "counter keys unchanged under meta" (Some expected_keys)
+    (Json.keys (Option.get (Json.member "counters" meta_doc)))
 
 let suite =
   [
