@@ -898,15 +898,19 @@ let () =
   let server =
     match !serve_port with
     | None -> None
-    | Some port ->
-      let s =
+    | Some port -> (
+      match
         Nbhash_telemetry.Metrics_server.start ~port
           ~watchdog:(Nbhash_telemetry.Watchdog.global ())
           ()
-      in
-      Printf.printf "serving metrics on http://127.0.0.1:%d/metrics\n%!"
-        (Nbhash_telemetry.Metrics_server.port s);
-      Some s
+      with
+      | s ->
+        Printf.printf "serving metrics on http://127.0.0.1:%d/metrics\n%!"
+          (Nbhash_telemetry.Metrics_server.port s);
+        Some s
+      | exception Nbhash_telemetry.Metrics_server.Bind_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1)
   in
   let chosen =
     match args with

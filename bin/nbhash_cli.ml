@@ -577,10 +577,278 @@ let top_cmd =
        ~doc:"Live terminal view of a running table's metrics endpoint.")
     term
 
+(* --- serve / load / drain: the sharded KV service --- *)
+
+module Server = Nbhash_server.Server
+module Loadgen = Nbhash_server.Loadgen
+module Sproto = Nbhash_server.Protocol
+
+let write_port_file path port =
+  match path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Printf.fprintf oc "%d\n" port)
+
+let serve_cmd =
+  let serve addr port backend shards workers metrics_port no_metrics port_file
+      metrics_port_file =
+    let backend =
+      match Nbhash_server.Backend.kind_of_string backend with
+      | Some k -> k
+      | None ->
+        Printf.eprintf "unknown backend %S; known: lockfree, waitfree\n"
+          backend;
+        exit 1
+    in
+    (* Request/span counters and table gauges only mean something with
+       a live probe; install one for the server's whole lifetime. *)
+    Nbhash_telemetry.Global.install (Nbhash_telemetry.Probe.recording ());
+    match
+      let server =
+        Server.start
+          ~config:{ Server.default_config with addr; port; backend; shards; workers }
+          ()
+      in
+      let metrics =
+        if no_metrics then None
+        else
+          Some
+            (Nbhash_telemetry.Metrics_server.start ~addr ~port:metrics_port
+               ~watchdog:(Nbhash_telemetry.Watchdog.global ())
+               ())
+      in
+      (server, metrics)
+    with
+    | exception Nbhash_telemetry.Metrics_server.Bind_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | server, metrics ->
+      Printf.printf "serving kv (%s, %d shards, %d workers) on %s:%d\n%!"
+        (Nbhash_server.Backend.kind_name backend)
+        shards workers addr (Server.port server);
+      write_port_file port_file (Server.port server);
+      (match metrics with
+      | None -> ()
+      | Some m ->
+        Printf.printf "serving metrics on http://%s:%d/metrics\n%!" addr
+          (Nbhash_telemetry.Metrics_server.port m);
+        write_port_file metrics_port_file
+          (Nbhash_telemetry.Metrics_server.port m));
+      (* Block until a DRAIN request brings the workers down, then
+         stop the metrics side too and exit cleanly. *)
+      Server.wait server;
+      (match metrics with
+      | None -> ()
+      | Some m -> Nbhash_telemetry.Metrics_server.stop m);
+      print_endline "drained; bye"
+  in
+  let addr_arg =
+    let doc = "Address to bind." in
+    Arg.(value & opt string "127.0.0.1" & info [ "addr" ] ~docv:"ADDR" ~doc)
+  in
+  let port_arg =
+    let doc = "KV port to bind (0 picks a free port; it is printed either \
+               way, and written to --port-file if given)." in
+    Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let backend_arg =
+    let doc = "Shard table implementation: lockfree or waitfree." in
+    Arg.(value & opt string "lockfree" & info [ "backend" ] ~docv:"KIND" ~doc)
+  in
+  let shards_arg =
+    let doc = "Shard tables (1 = single-shared-table ablation)." in
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker domains (concurrent connections served)." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let metrics_port_arg =
+    let doc = "Metrics/health HTTP port (0 picks a free port)." in
+    Arg.(value & opt int 0 & info [ "metrics-port" ] ~docv:"PORT" ~doc)
+  in
+  let no_metrics_arg =
+    let doc = "Do not start the metrics endpoint." in
+    Arg.(value & flag & info [ "no-metrics" ] ~doc)
+  in
+  let port_file_arg =
+    let doc = "Write the bound KV port to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "port-file" ] ~docv:"PATH" ~doc)
+  in
+  let metrics_port_file_arg =
+    let doc = "Write the bound metrics port to $(docv)." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-port-file" ] ~docv:"PATH" ~doc)
+  in
+  let term =
+    Term.(
+      const serve $ addr_arg $ port_arg $ backend_arg $ shards_arg
+      $ workers_arg $ metrics_port_arg $ no_metrics_arg $ port_file_arg
+      $ metrics_port_file_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the sharded KV service until a drain request.")
+    term
+
+let host_arg =
+  let doc = "Server host." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let kv_port_arg =
+  let doc = "Server KV port." in
+  Arg.(required & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let load_cmd =
+  let load host port conns rate duration range_bits dist get del value_bytes
+      seed max_lag_ms json =
+    let dist =
+      match String.split_on_char ':' dist with
+      | [ "uniform" ] -> Nbhash_workload.Keystream.Uniform
+      | [ "zipf" ] -> Nbhash_workload.Keystream.Zipf 1.1
+      | [ "zipf"; s ] -> (
+        match float_of_string_opt s with
+        | Some s when s >= 0. -> Nbhash_workload.Keystream.Zipf s
+        | _ ->
+          Printf.eprintf "bad zipf skew %S\n" s;
+          exit 1)
+      | _ ->
+        Printf.eprintf "unknown distribution %S (uniform, zipf, zipf:S)\n" dist;
+        exit 1
+    in
+    match
+      Loadgen.run
+        ~config:
+          {
+            Loadgen.host;
+            port;
+            conns;
+            rate;
+            duration_s = duration;
+            key_range = 1 lsl range_bits;
+            dist;
+            get_ratio = get;
+            del_ratio = del;
+            value_bytes;
+            seed;
+            max_lag_ns = int_of_float (max_lag_ms *. 1e6);
+          }
+        ()
+    with
+    | exception Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | report ->
+      Loadgen.print_human report;
+      (match json with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Loadgen.to_bench_json report));
+        Printf.printf "wrote SLO report to %s\n" path);
+      if report.Loadgen.sent = 0 || report.Loadgen.errors > 0 then exit 1
+  in
+  let conns_arg =
+    let doc = "Client connections (one domain each)." in
+    Arg.(value & opt int 2 & info [ "conns" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc = "Total open-loop request rate, req/s (0 = closed loop)." in
+    Arg.(value & opt float 2000. & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let dist_arg =
+    let doc = "Key distribution: uniform, zipf, or zipf:SKEW." in
+    Arg.(value & opt string "uniform" & info [ "dist" ] ~docv:"DIST" ~doc)
+  in
+  let get_arg =
+    let doc = "GET ratio in [0,1]." in
+    Arg.(value & opt float 0.8 & info [ "get" ] ~docv:"G" ~doc)
+  in
+  let del_arg =
+    let doc = "DEL ratio in [0,1]; PUTs take the rest." in
+    Arg.(value & opt float 0.05 & info [ "del" ] ~docv:"D" ~doc)
+  in
+  let value_bytes_arg =
+    let doc = "PUT value size in bytes." in
+    Arg.(value & opt int 32 & info [ "value-bytes" ] ~docv:"B" ~doc)
+  in
+  let max_lag_arg =
+    let doc = "Schedule slack in milliseconds before overdue requests drop." in
+    Arg.(value & opt float 100. & info [ "max-lag-ms" ] ~docv:"MS" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the SLO report as bench-v2 JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+  in
+  let term =
+    Term.(
+      const load $ host_arg $ kv_port_arg $ conns_arg $ rate_arg
+      $ duration_arg $ range_arg $ dist_arg $ get_arg $ del_arg
+      $ value_bytes_arg $ seed_arg $ max_lag_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Drive a KV server with an open-loop workload and report SLOs.")
+    term
+
+let drain_cmd =
+  let drain host port =
+    match
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+          Sproto.write_request fd Drain;
+          Sproto.read_response fd)
+    with
+    | Result.Ok Sproto.Ok -> print_endline "drained"
+    | Result.Ok r ->
+      Printf.eprintf "error: unexpected drain response: %s\n"
+        (match r with
+        | Sproto.Err m -> m
+        | Sproto.Value _ -> "VALUE"
+        | Sproto.Not_found -> "NOT_FOUND"
+        | Sproto.Ok -> "OK");
+      exit 1
+    | Result.Error msg | (exception Failure msg) ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: cannot drain %s:%d: %s\n" host port
+        (Unix.error_message e);
+      exit 1
+  in
+  let term = Term.(const drain $ host_arg $ kv_port_arg) in
+  Cmd.v
+    (Cmd.info "drain"
+       ~doc:"Ask a KV server to finish migrations and shut down.")
+    term
+
 let () =
   let doc = "dynamic-sized nonblocking hash table workbench" in
   let info = Cmd.info "nbhash_cli" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; sweep_cmd; hist_cmd; stats_cmd; trace_cmd; top_cmd; list_cmd ]))
+          [
+            run_cmd;
+            sweep_cmd;
+            hist_cmd;
+            stats_cmd;
+            trace_cmd;
+            top_cmd;
+            serve_cmd;
+            load_cmd;
+            drain_cmd;
+            list_cmd;
+          ]))

@@ -316,6 +316,10 @@ let inspect t =
        else 1.0)
     ~announce_pending:0
 
+(* The lock-free map announces nothing; an always-empty watchdog
+   source, as in Hashset_intf's non-announcing tables. *)
+let pending_ops _ = [||]
+
 let fail fmt = Format.kasprintf failwith fmt
 
 let check_invariants t =

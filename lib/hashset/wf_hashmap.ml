@@ -392,6 +392,21 @@ let bucket_sizes t =
   let hn = Atomic.get t.head in
   Array.init hn.size (fun i -> Array.length (bucket_pairs hn i))
 
+(* Snapshot of the announce array for the liveness watchdog, as in
+   Wf_common.announced: every announced-but-incomplete operation as
+   (tid, priority). Priorities are unique per operation, so the same
+   pair persisting across polls means one specific operation is stuck.
+   Racy by design; see Watchdog. *)
+let pending_ops t =
+  let out = ref [] in
+  for tid = Array.length t.slots - 1 downto 0 do
+    match Atomic.get t.slots.(tid) with
+    | Some op when not (op_is_done op) ->
+      out := (tid, Atomic.get op.prio) :: !out
+    | Some _ | None -> ()
+  done;
+  Array.of_list !out
+
 (* Announce-array occupancy, as in Adaptive_hashset_opt.pending_ops. *)
 let announce_pending t =
   let n = ref 0 in

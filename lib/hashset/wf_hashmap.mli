@@ -48,6 +48,11 @@ val bucket_sizes : 'v t -> int array
 val inspect : 'v t -> Hashset_intf.table_view
 (** Structural health snapshot; see {!Hashset_intf.S.inspect}. *)
 
+val pending_ops : 'v t -> (int * int) array
+(** Announced-but-incomplete operations as [(tid, priority)] pairs:
+    the snapshot a {!Nbhash_telemetry.Watchdog} source samples; see
+    {!Hashset_intf.S.pending_ops}. *)
+
 val bindings : 'v t -> (int * 'v) list
 (** Exact only in quiescent states. *)
 

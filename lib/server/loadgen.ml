@@ -1,0 +1,293 @@
+(* Open-loop load generator for the KV server.
+
+   Each of [conns] connections runs on its own domain with its own
+   socket and its own seeded Keystream, and fires requests on a fixed
+   schedule: request d*k is DUE at t0 + k * conns/rate seconds,
+   independent of how long earlier requests took. Latency is measured
+   from the due time, not the send time, so server stalls show up in
+   the percentiles instead of silently thinning the arrival stream
+   (the coordinated-omission correction). A connection that falls more
+   than [max_lag_ns] behind schedule drops the overdue requests —
+   counted, never silently — and re-anchors, which models a bounded
+   client queue. [rate = 0] disables pacing: a closed loop that fires
+   as fast as responses return, measuring service time only.
+
+   Latencies land in one shared log2 telemetry histogram (domain
+   sharded, so recording never synchronizes the connections); exact
+   max/sum and the outcome counters are per-connection locals merged
+   after the join. The report renders as bench-v2 JSON (mode "load",
+   exp "slo") so tools/bench_compare can gate SLO regressions the same
+   way it gates bench regressions. *)
+
+module Tm = Nbhash_telemetry
+module Keystream = Nbhash_workload.Keystream
+
+type config = {
+  host : string;
+  port : int;
+  conns : int;
+  rate : float;  (** total target request rate, req/s; 0 = closed loop *)
+  duration_s : float;
+  key_range : int;
+  dist : Keystream.dist;
+  get_ratio : float;
+  del_ratio : float;  (** of the non-get remainder, puts take the rest *)
+  value_bytes : int;
+  seed : int;
+  max_lag_ns : int;  (** schedule slack before overdue requests drop *)
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    conns = 2;
+    rate = 2000.;
+    duration_s = 5.;
+    key_range = 1 lsl 16;
+    dist = Keystream.Uniform;
+    get_ratio = 0.8;
+    del_ratio = 0.05;
+    value_bytes = 32;
+    seed = 42;
+    max_lag_ns = 100_000_000;
+  }
+
+(* Per-connection tallies, merged after the join. *)
+type tally = {
+  mutable sent : int;
+  mutable ok : int;
+  mutable not_found : int;
+  mutable errors : int;
+  mutable drops : int;
+  mutable sum_ns : float;
+  mutable max_ns : int;
+}
+
+let new_tally () =
+  { sent = 0; ok = 0; not_found = 0; errors = 0; drops = 0; sum_ns = 0.; max_ns = 0 }
+
+type report = {
+  impl : string;  (** from the server's STAT reply, e.g. server/lockfreex2 *)
+  config : config;
+  elapsed_s : float;
+  sent : int;
+  ok : int;
+  not_found : int;
+  errors : int;
+  drops : int;
+  achieved_rate : float;  (** completed requests per second *)
+  p50_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+  mean_ns : float;
+  max_ns : int;
+}
+
+let connect ~host ~port =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let rec go attempts =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () ->
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if attempts <= 1 then
+        failwith
+          (Printf.sprintf "loadgen: cannot connect to %s:%d: %s" host port
+             (Unix.error_message e))
+      else begin
+        Unix.sleepf 0.05;
+        go (attempts - 1)
+      end
+  in
+  go 40
+
+(* Fetch the server's self-description for the report's impl label. *)
+let stat_impl ~host ~port =
+  let fd = connect ~host ~port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Protocol.write_request fd Stat;
+      match Protocol.read_response fd with
+      | Result.Ok (Value body) -> (
+        let field name =
+          match Nbhash_util.Json.parse body with
+          | Result.Ok j -> Nbhash_util.Json.member name j
+          | Result.Error _ -> None
+        in
+        match (field "backend", field "shards") with
+        | Some (Str b), Some (Num s) ->
+          Printf.sprintf "server/%sx%d" b (int_of_float s)
+        | _ -> "server/unknown")
+      | _ -> "server/unknown")
+
+let run ?(config = default_config) () =
+  if config.conns < 1 then invalid_arg "Loadgen.run: conns < 1";
+  if config.rate < 0. then invalid_arg "Loadgen.run: rate < 0";
+  let impl = stat_impl ~host:config.host ~port:config.port in
+  let hist = Tm.Histogram.make () in
+  let value = String.make config.value_bytes 'v' in
+  let interval_ns =
+    if config.rate = 0. then 0
+    else
+      int_of_float (1e9 *. float_of_int config.conns /. config.rate)
+  in
+  let deadline_of t0 = t0 + int_of_float (config.duration_s *. 1e9) in
+  let worker d =
+    let tally = new_tally () in
+    let fd = connect ~host:config.host ~port:config.port in
+    let ks =
+      Keystream.create ~dist:config.dist ~key_range:config.key_range
+        ~seed:(config.seed + (77 * d))
+        ()
+    in
+    let rng = Nbhash_util.Xoshiro.create (config.seed + (1000 * d) + 13) in
+    let request () =
+      let k = Keystream.next ks in
+      let r = Nbhash_util.Xoshiro.float rng in
+      if r < config.get_ratio then Protocol.Get k
+      else if r < config.get_ratio +. config.del_ratio then Protocol.Del k
+      else Protocol.Put (k, value)
+    in
+    let t0 = Nbhash_util.Clock.now_ns () in
+    let deadline = deadline_of t0 in
+    let due = ref t0 in
+    (try
+       let continue = ref true in
+       while !continue do
+         due := !due + interval_ns;
+         let now = Nbhash_util.Clock.now_ns () in
+         if (if interval_ns = 0 then now else max now !due) >= deadline then
+           continue := false
+         else if interval_ns > 0 && now - !due > config.max_lag_ns then begin
+           (* Too far behind schedule: drop the overdue request and
+              re-anchor so one long stall does not turn the rest of
+              the run into a backlog-burndown measurement. *)
+           tally.drops <- tally.drops + 1;
+           due := now
+         end
+         else begin
+           if interval_ns > 0 && now < !due then
+             Unix.sleepf (float_of_int (!due - now) *. 1e-9);
+           let start = if interval_ns = 0 then Nbhash_util.Clock.now_ns () else !due in
+           Protocol.write_request fd (request ());
+           (match Protocol.read_response fd with
+           | Result.Ok Ok | Result.Ok (Value _) -> tally.ok <- tally.ok + 1
+           | Result.Ok Not_found -> tally.not_found <- tally.not_found + 1
+           | Result.Ok (Err _) | Result.Error _ ->
+             tally.errors <- tally.errors + 1);
+           tally.sent <- tally.sent + 1;
+           let lat = Nbhash_util.Clock.now_ns () - start in
+           Tm.Histogram.observe hist lat;
+           tally.sum_ns <- tally.sum_ns +. float_of_int lat;
+           if lat > tally.max_ns then tally.max_ns <- lat
+         end
+       done
+     with Unix.Unix_error _ | Sys_error _ | Failure _ ->
+       tally.errors <- tally.errors + 1);
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (tally, Nbhash_util.Clock.now_ns () - t0)
+  in
+  let domains =
+    List.init config.conns (fun d -> Domain.spawn (fun () -> worker d))
+  in
+  let parts = List.map Domain.join domains in
+  let total = new_tally () in
+  let elapsed_ns = ref 0 in
+  List.iter
+    (fun ((t : tally), e) ->
+      total.sent <- total.sent + t.sent;
+      total.ok <- total.ok + t.ok;
+      total.not_found <- total.not_found + t.not_found;
+      total.errors <- total.errors + t.errors;
+      total.drops <- total.drops + t.drops;
+      total.sum_ns <- total.sum_ns +. t.sum_ns;
+      if t.max_ns > total.max_ns then total.max_ns <- t.max_ns;
+      if e > !elapsed_ns then elapsed_ns := e)
+    parts;
+  let elapsed_s = float_of_int !elapsed_ns *. 1e-9 in
+  let counts = Tm.Histogram.counts hist in
+  let n = Array.fold_left ( + ) 0 counts in
+  let pct p =
+    if n = 0 then 0. else Tm.Histogram.percentile_of_counts counts n p
+  in
+  {
+    impl;
+    config;
+    elapsed_s;
+    sent = total.sent;
+    ok = total.ok;
+    not_found = total.not_found;
+    errors = total.errors;
+    drops = total.drops;
+    achieved_rate =
+      (if elapsed_s > 0. then float_of_int total.sent /. elapsed_s else 0.);
+    p50_ns = pct 50.;
+    p99_ns = pct 99.;
+    p999_ns = pct 99.9;
+    mean_ns =
+      (if total.sent > 0 then total.sum_ns /. float_of_int total.sent else 0.);
+    max_ns = total.max_ns;
+  }
+
+(* --- rendering --- *)
+
+let dist_name = function
+  | Keystream.Uniform -> "uniform"
+  | Keystream.Zipf s -> Printf.sprintf "zipf:%g" s
+
+(* bench-v2 JSON: one result, mode "load", exp "slo". The percentile
+   fields ride inside [params] next to the identity fields
+   (workers/key_range/lookup_ratio/duration) that bench_compare keys
+   on; ops_per_usec is the achieved completion rate, which under
+   pacing is schedule-stable and therefore comparable across runs. *)
+let to_bench_json (r : report) =
+  let c = r.config in
+  let params =
+    String.concat ","
+      [
+        Printf.sprintf "\"workers\":%d" c.conns;
+        Printf.sprintf "\"key_range\":%d" c.key_range;
+        Printf.sprintf "\"lookup_ratio\":%g" c.get_ratio;
+        Printf.sprintf "\"duration\":%g" c.duration_s;
+        Printf.sprintf "\"rate\":%g" c.rate;
+        Printf.sprintf "\"dist\":\"%s\"" (dist_name c.dist);
+        Printf.sprintf "\"value_bytes\":%d" c.value_bytes;
+        Printf.sprintf "\"sent\":%d" r.sent;
+        Printf.sprintf "\"ok\":%d" r.ok;
+        Printf.sprintf "\"not_found\":%d" r.not_found;
+        Printf.sprintf "\"errors\":%d" r.errors;
+        Printf.sprintf "\"drops\":%d" r.drops;
+        Printf.sprintf "\"p50_ns\":%.0f" r.p50_ns;
+        Printf.sprintf "\"p99_ns\":%.0f" r.p99_ns;
+        Printf.sprintf "\"p999_ns\":%.0f" r.p999_ns;
+        Printf.sprintf "\"mean_ns\":%.0f" r.mean_ns;
+        Printf.sprintf "\"max_ns\":%d" r.max_ns;
+      ]
+  in
+  Printf.sprintf
+    "{\"schema\":\"nbhash-bench-v2\",\"mode\":\"load\",\"meta\":%s,\"results\":[{\"exp\":\"slo\",\"impl\":%S,\"params\":{%s},\"ops_per_usec\":%.6f,\"telemetry\":null}]}\n"
+    (Tm.Meta.json ()) r.impl params
+    (r.achieved_rate /. 1e6)
+
+let print_human (r : report) =
+  let c = r.config in
+  Printf.printf "slo: %s  conns=%d rate=%s dist=%s keys=%d get=%.2f\n" r.impl
+    c.conns
+    (if c.rate = 0. then "closed-loop" else Printf.sprintf "%.0f/s" c.rate)
+    (dist_name c.dist) c.key_range c.get_ratio;
+  Printf.printf
+    "  sent %d in %.2fs (%.0f req/s achieved); ok %d, not_found %d, errors \
+     %d, drops %d\n"
+    r.sent r.elapsed_s r.achieved_rate r.ok r.not_found r.errors r.drops;
+  let us v = v /. 1e3 in
+  Printf.printf
+    "  latency (open-loop, from due time): p50 %.1fus  p99 %.1fus  p999 \
+     %.1fus  mean %.1fus  max %.1fus\n"
+    (us r.p50_ns) (us r.p99_ns) (us r.p999_ns) (us r.mean_ns)
+    (us (float_of_int r.max_ns))

@@ -1,0 +1,170 @@
+type request =
+  | Get of int
+  | Put of int * string
+  | Del of int
+  | Ping
+  | Drain
+  | Stat
+
+type response = Value of string | Ok | Not_found | Err of string
+
+let max_key = 1 lsl 59
+let default_max_frame = 1 lsl 20
+
+(* --- opcodes --- *)
+
+let op_get = '\x01'
+let op_put = '\x02'
+let op_del = '\x03'
+let op_ping = '\x04'
+let op_drain = '\x05'
+let op_stat = '\x06'
+let op_value = '\x80'
+let op_ok = '\x81'
+let op_not_found = '\x82'
+let op_err = '\xee'
+
+(* --- payload codec --- *)
+
+let keyed_payload op key body =
+  let b = Bytes.create (9 + String.length body) in
+  Bytes.set b 0 op;
+  Bytes.set_int64_be b 1 (Int64.of_int key);
+  Bytes.blit_string body 0 b 9 (String.length body);
+  Bytes.unsafe_to_string b
+
+let bodied_payload op body =
+  let b = Bytes.create (1 + String.length body) in
+  Bytes.set b 0 op;
+  Bytes.blit_string body 0 b 1 (String.length body);
+  Bytes.unsafe_to_string b
+
+let request_to_payload = function
+  | Get k -> keyed_payload op_get k ""
+  | Put (k, v) -> keyed_payload op_put k v
+  | Del k -> keyed_payload op_del k ""
+  | Ping -> String.make 1 op_ping
+  | Drain -> String.make 1 op_drain
+  | Stat -> String.make 1 op_stat
+
+let response_to_payload = function
+  | Value v -> bodied_payload op_value v
+  | Ok -> String.make 1 op_ok
+  | Not_found -> String.make 1 op_not_found
+  | Err msg -> bodied_payload op_err msg
+
+let key_of payload =
+  let k = Int64.to_int (String.get_int64_be payload 1) in
+  if k < 0 || k >= max_key then
+    Result.Error (Printf.sprintf "key %d out of range [0, 2^59)" k)
+  else Result.Ok k
+
+let ( let* ) = Result.bind
+
+let request_of_payload payload =
+  let n = String.length payload in
+  if n = 0 then Result.Error "empty frame"
+  else
+    let body_exn want op =
+      if n = want then Result.Ok ()
+      else
+        Result.Error
+          (Printf.sprintf "%s expects a %d-byte payload, got %d" op want n)
+    in
+    match payload.[0] with
+    | c when c = op_get ->
+      let* () = body_exn 9 "GET" in
+      let* k = key_of payload in
+      Result.Ok (Get k)
+    | c when c = op_del ->
+      let* () = body_exn 9 "DEL" in
+      let* k = key_of payload in
+      Result.Ok (Del k)
+    | c when c = op_put ->
+      if n < 9 then
+        Result.Error (Printf.sprintf "PUT expects at least 9 bytes, got %d" n)
+      else
+        let* k = key_of payload in
+        Result.Ok (Put (k, String.sub payload 9 (n - 9)))
+    | c when c = op_ping ->
+      let* () = body_exn 1 "PING" in
+      Result.Ok Ping
+    | c when c = op_drain ->
+      let* () = body_exn 1 "DRAIN" in
+      Result.Ok Drain
+    | c when c = op_stat ->
+      let* () = body_exn 1 "STAT" in
+      Result.Ok Stat
+    | c -> Result.Error (Printf.sprintf "bad opcode 0x%02x" (Char.code c))
+
+let response_of_payload payload =
+  let n = String.length payload in
+  if n = 0 then Result.Error "empty frame"
+  else
+    match payload.[0] with
+    | c when c = op_value -> Result.Ok (Value (String.sub payload 1 (n - 1)))
+    | c when c = op_ok ->
+      if n = 1 then Result.Ok Ok else Result.Error "OK carries no body"
+    | c when c = op_not_found ->
+      if n = 1 then Result.Ok Not_found
+      else Result.Error "NOT_FOUND carries no body"
+    | c when c = op_err -> Result.Ok (Err (String.sub payload 1 (n - 1)))
+    | c ->
+      Result.Error (Printf.sprintf "bad response opcode 0x%02x" (Char.code c))
+
+(* --- framed IO --- *)
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write fd b !sent (n - !sent)
+  done
+
+let write_frame fd payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  write_all fd b
+
+let write_request fd r = write_frame fd (request_to_payload r)
+let write_response fd r = write_frame fd (response_to_payload r)
+
+(* Read exactly [want] bytes into [b]; the number actually read is
+   returned (short only at EOF). *)
+let read_exact fd b want =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < want do
+    let n = Unix.read fd b !got (want - !got) in
+    if n = 0 then eof := true else got := !got + n
+  done;
+  !got
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  let prefix = Bytes.create 4 in
+  match read_exact fd prefix 4 with
+  | 0 -> Result.Ok None
+  | p when p < 4 ->
+    Result.Error (Printf.sprintf "truncated length prefix (%d of 4 bytes)" p)
+  | _ -> (
+    let len = Int32.to_int (Bytes.get_int32_be prefix 0) in
+    if len <= 0 then
+      Result.Error (Printf.sprintf "bad declared length %d" len)
+    else if len > max_frame then
+      Result.Error
+        (Printf.sprintf "oversized declared length %d (max %d)" len max_frame)
+    else
+      let body = Bytes.create len in
+      match read_exact fd body len with
+      | got when got < len ->
+        Result.Error
+          (Printf.sprintf "truncated frame (%d of %d bytes)" got len)
+      | _ -> Result.Ok (Some (Bytes.unsafe_to_string body)))
+
+let read_response ?max_frame fd =
+  match read_frame ?max_frame fd with
+  | Result.Error _ as e -> e
+  | Result.Ok None -> Result.Error "connection closed before the response"
+  | Result.Ok (Some payload) -> response_of_payload payload

@@ -1,0 +1,62 @@
+(** The KV service wire protocol: length-prefixed binary frames over a
+    stream socket.
+
+    A frame is a 4-byte big-endian payload length followed by the
+    payload; the payload's first byte is an opcode, the rest is the
+    body. Keys are 8-byte big-endian non-negative integers below
+    {!max_key}; values are arbitrary byte strings (empty allowed) up
+    to the frame limit. One request frame yields exactly one response
+    frame; requests on one connection are processed in order.
+
+    Opcodes — requests: [0x01] GET key, [0x02] PUT key value,
+    [0x03] DEL key, [0x04] PING, [0x05] DRAIN, [0x06] STAT.
+    Responses: [0x80] VALUE bytes, [0x81] OK, [0x82] NOT_FOUND,
+    [0xEE] ERR message.
+
+    Framing errors (truncated length prefix or body, oversized
+    declared length) are answered with an ERR frame before the server
+    closes the connection; payload-level errors (bad opcode, wrong
+    body size, key out of range) are answered with ERR and the
+    connection stays usable, because the framing is still in sync. *)
+
+type request =
+  | Get of int
+  | Put of int * string
+  | Del of int
+  | Ping
+  | Drain  (** finish in-flight migrations, then shut the server down *)
+  | Stat  (** server configuration and occupancy as a small JSON body *)
+
+type response = Value of string | Ok | Not_found | Err of string
+
+val max_key : int
+(** [2^59]. Keys at or above this are reserved for the server's own
+    use (migration-drain probes). *)
+
+val default_max_frame : int
+(** 1 MiB of payload. *)
+
+(** {1 Codec} — payloads without the length prefix} *)
+
+val request_to_payload : request -> string
+val request_of_payload : string -> (request, string) result
+val response_to_payload : response -> string
+val response_of_payload : string -> (response, string) result
+
+(** {1 Framed IO over file descriptors} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Prefix the payload with its length and write it all out. *)
+
+val write_request : Unix.file_descr -> request -> unit
+val write_response : Unix.file_descr -> response -> unit
+
+val read_frame :
+  ?max_frame:int -> Unix.file_descr -> (string option, string) result
+(** Read one whole frame. [Ok None] on clean EOF at a frame boundary;
+    [Error msg] on a truncated prefix or body, or a declared length of
+    zero or above [max_frame]. Blocking. *)
+
+val read_response :
+  ?max_frame:int -> Unix.file_descr -> (response, string) result
+(** [read_frame] + decode; EOF where a response was due is an error. *)

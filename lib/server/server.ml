@@ -1,0 +1,247 @@
+(* nbhash_server: the sharded KV service.
+
+   One listening socket; [workers] domains each run a blocking
+   accept/serve loop (accept(2) on a shared fd is safe on every
+   platform we target), so up to [workers] connections are served
+   concurrently and the rest queue in the listen backlog. Each worker
+   registers one Backend handle bundle at startup — per-domain, as the
+   wait-free map's announce protocol requires — and serves its
+   connection request-by-request: read frame, decode, execute, reply.
+
+   Observability: requests, connections and protocol errors feed the
+   ambient telemetry probe (server_request/server_conn/server_error
+   counters and the server_request_ns span histogram), and the Backend
+   registered per-shard health gauges and watchdog sources at
+   creation, so a Metrics_server started alongside exposes the whole
+   picture with no extra wiring.
+
+   Graceful shutdown (the DRAIN opcode, or [stop]): new connections
+   stop being accepted, in-flight requests run to completion (workers
+   check the stopping flag only between requests), any in-flight
+   migration is driven to completion by the draining thread, and open
+   connections are shut down for reading — which unblocks workers
+   parked in read_frame with a clean EOF while letting their pending
+   writes finish. Acknowledged writes are readable from the backend
+   after [wait] returns: nothing is torn down but the sockets. *)
+
+module Atomic = Nbhash_util.Nb_atomic
+module Tm = Nbhash_telemetry
+module Ev = Nbhash_telemetry.Event
+
+type config = {
+  addr : string;
+  port : int;  (** 0 = pick a free port; the bound port is {!port} *)
+  backend : Backend.kind;
+  shards : int;
+  workers : int;
+  max_frame : int;
+  policy : Nbhash.Policy.t option;
+}
+
+let default_config =
+  {
+    addr = "127.0.0.1";
+    port = 0;
+    backend = Backend.Lockfree;
+    shards = 2;
+    workers = 2;
+    max_frame = Protocol.default_max_frame;
+    policy = None;
+  }
+
+type t = {
+  config : config;
+  port : int;
+  backend : Backend.t;
+  listen_fd : Unix.file_descr;
+  stopping : bool Atomic.t;
+  conns : Unix.file_descr list Atomic.t;
+  mutable domains : unit Domain.t list;
+}
+
+let port t = t.port
+let backend t = t.backend
+let config t = t.config
+
+let conn_track t fd =
+  let rec go () =
+    let cur = Atomic.get t.conns in
+    if not (Atomic.compare_and_set t.conns cur (fd :: cur)) then go ()
+  in
+  go ()
+
+let conn_untrack t fd =
+  let rec go () =
+    let cur = Atomic.get t.conns in
+    let next = List.filter (fun f -> f != fd) cur in
+    if not (Atomic.compare_and_set t.conns cur next) then go ()
+  in
+  go ()
+
+(* Flip to stopping and wake everything that blocks: the listener (so
+   accepting workers exit) and every tracked connection (shutdown for
+   reading unblocks a worker parked in read_frame with EOF, while a
+   response still being written goes out). Idempotent. *)
+let initiate_stop t =
+  if Atomic.compare_and_set t.stopping false true then begin
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (* Fallback for stacks where shutdown on a listening socket is a
+       no-op (see Metrics_server.stop): connect once per worker so
+       every parked accept wakes. *)
+    for _ = 1 to t.config.workers do
+      try
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect fd
+              (Unix.ADDR_INET (Unix.inet_addr_of_string t.config.addr, t.port)))
+      with Unix.Unix_error _ | Sys_error _ -> ()
+    done;
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      (Atomic.get t.conns)
+  end
+
+let stat_body t =
+  Printf.sprintf
+    "{\"backend\":\"%s\",\"shards\":%d,\"workers\":%d,\"cardinal\":%d}"
+    (Backend.kind_name (Backend.kind t.backend))
+    (Backend.shard_count t.backend)
+    t.config.workers
+    (Backend.cardinal t.backend)
+
+(* Execute one decoded request. Returns [true] to keep serving the
+   connection. DRAIN finishes the shards' migrations with the worker's
+   own handle bundle before acking, then brings the whole server
+   down. *)
+let execute t h fd (req : Protocol.request) =
+  match req with
+  | Get k ->
+    Protocol.write_response fd
+      (match Backend.get h k with Some v -> Value v | None -> Not_found);
+    true
+  | Put (k, v) ->
+    Backend.put h k v;
+    Protocol.write_response fd Ok;
+    true
+  | Del k ->
+    Protocol.write_response fd (if Backend.del h k then Ok else Not_found);
+    true
+  | Ping ->
+    Protocol.write_response fd Ok;
+    true
+  | Stat ->
+    Protocol.write_response fd (Value (stat_body t));
+    true
+  | Drain ->
+    Backend.drain h;
+    initiate_stop t;
+    Protocol.write_response fd Ok;
+    false
+
+let serve_connection t h fd =
+  Tm.Global.emit Ev.Server_conn;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let continue = ref true in
+  while !continue do
+    match Protocol.read_frame ~max_frame:t.config.max_frame fd with
+    | Ok None -> continue := false
+    | Error msg ->
+      (* Framing is lost (truncated or oversized): answer with a
+         protocol error, then drop the connection — there is no way
+         back in sync. *)
+      Tm.Global.emit Ev.Server_error;
+      (try Protocol.write_response fd (Err msg)
+       with Unix.Unix_error _ -> ());
+      continue := false
+    | Ok (Some payload) -> (
+      let start_ns = Tm.Global.span_begin Ev.Server_span in
+      (match Protocol.request_of_payload payload with
+      | Error msg ->
+        (* The frame was well-delimited, only its payload is bad: the
+           connection stays usable. *)
+        Tm.Global.emit Ev.Server_error;
+        Protocol.write_response fd (Err msg)
+      | Ok req ->
+        Tm.Global.emit Ev.Server_request;
+        continue := execute t h fd req);
+      Tm.Global.record_span Ev.Server_span ~start_ns;
+      if Atomic.get t.stopping then continue := false)
+  done
+
+let worker_loop t =
+  let h = Backend.register t.backend in
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+      if Atomic.get t.stopping then begin
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        continue := false
+      end
+      else begin
+        conn_track t fd;
+        (try serve_connection t h fd
+         with Unix.Unix_error _ | Sys_error _ -> ());
+        conn_untrack t fd;
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if Atomic.get t.stopping then continue := false
+      end
+    | exception Unix.Unix_error _ ->
+      (* initiate_stop shut the listener down (or accept failed hard);
+         either way this worker is done. *)
+      continue := false
+  done;
+  Backend.unregister h
+
+let start ?(config = default_config) () =
+  if config.shards < 1 then invalid_arg "Server.start: shards < 1";
+  if config.workers < 1 then invalid_arg "Server.start: workers < 1";
+  let backend =
+    Backend.create ?policy:config.policy ~kind:config.backend
+      ~shards:config.shards
+      ~max_threads:(config.workers + 8)
+      ()
+  in
+  let listen_fd, port =
+    Nbhash_telemetry.Metrics_server.listen_tcp ~backlog:64 ~addr:config.addr
+      ~port:config.port ()
+  in
+  let t =
+    {
+      config;
+      port;
+      backend;
+      listen_fd;
+      stopping = Atomic.make false;
+      conns = Atomic.make [];
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+(* Block until every worker has exited (i.e. until a DRAIN request or
+   [stop] brought the server down), then release the listener and the
+   backend's gauge/watchdog registrations. The backend's tables stay
+   readable — that is what "restart-less drain loses no acknowledged
+   write" means. *)
+let wait t =
+  List.iter Domain.join t.domains;
+  t.domains <- [];
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Backend.close t.backend
+
+(* Programmatic shutdown with the same drain guarantee as the DRAIN
+   opcode: finish migrations first, then stop and wait. *)
+let stop t =
+  let h = Backend.register t.backend in
+  Backend.drain h;
+  Backend.unregister h;
+  initiate_stop t;
+  wait t

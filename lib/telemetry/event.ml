@@ -23,8 +23,13 @@ type t =
   | Sweep_buckets_migrated
       (** buckets processed by sweep chunks (lazily initialized ones
           replayed by a chunk count too: replay is idempotent) *)
+  | Server_conn  (** the KV server accepted a client connection *)
+  | Server_request  (** the KV server answered one request frame *)
+  | Server_error
+      (** the KV server answered a protocol error (malformed frame,
+          bad opcode, oversized declared length) *)
 
-let count = 13
+let count = 16
 
 let index = function
   | Cas_retry -> 0
@@ -40,6 +45,9 @@ let index = function
   | Contains_pred -> 10
   | Sweep_chunk_claimed -> 11
   | Sweep_buckets_migrated -> 12
+  | Server_conn -> 13
+  | Server_request -> 14
+  | Server_error -> 15
 
 let to_string = function
   | Cas_retry -> "cas_retry"
@@ -55,6 +63,9 @@ let to_string = function
   | Contains_pred -> "contains_pred"
   | Sweep_chunk_claimed -> "sweep_chunk_claimed"
   | Sweep_buckets_migrated -> "sweep_buckets_migrated"
+  | Server_conn -> "server_conn"
+  | Server_request -> "server_request"
+  | Server_error -> "server_error"
 
 let all =
   [
@@ -71,6 +82,9 @@ let all =
     Contains_pred;
     Sweep_chunk_claimed;
     Sweep_buckets_migrated;
+    Server_conn;
+    Server_request;
+    Server_error;
   ]
 
 (* Inverse of [index]; total on [0, count). The trace-ring decoder
@@ -85,23 +99,31 @@ let of_index =
     [Probe.observe]) of the number of distinct domains that claimed at
     least one sweep chunk during a single migration — the
     work-stealing participation measure. *)
-type span = Resize_span | Slowpath_span | Sweep_span | Sweep_helpers
+type span =
+  | Resize_span
+  | Slowpath_span
+  | Sweep_span
+  | Sweep_helpers
+  | Server_span  (** server-side request service time (read to reply) *)
 
-let span_count = 4
+let span_count = 5
 
 let span_index = function
   | Resize_span -> 0
   | Slowpath_span -> 1
   | Sweep_span -> 2
   | Sweep_helpers -> 3
+  | Server_span -> 4
 
 let span_to_string = function
   | Resize_span -> "resize_ns"
   | Slowpath_span -> "slowpath_ns"
   | Sweep_span -> "sweep_chunk_ns"
   | Sweep_helpers -> "sweep_helpers"
+  | Server_span -> "server_request_ns"
 
-let all_spans = [ Resize_span; Slowpath_span; Sweep_span; Sweep_helpers ]
+let all_spans =
+  [ Resize_span; Slowpath_span; Sweep_span; Sweep_helpers; Server_span ]
 
 (* Inverse of [span_index]; total on [0, span_count). *)
 let span_of_index =

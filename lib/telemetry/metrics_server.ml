@@ -33,6 +33,40 @@ type t = {
 
 let port t = t.port
 
+exception Bind_error of string
+
+(* Shared TCP-listener setup (this server and the KV server): create,
+   set SO_REUSEADDR before bind so restarts never trip over
+   TIME_WAIT, bind (port 0 = "pick a free port"), listen, and return
+   the socket with the actually-bound port. A port already in use is
+   an ordinary operational error, reported as [Bind_error] with a
+   one-line message so CLI callers can print it and exit nonzero
+   instead of dumping a Unix_error backtrace. *)
+let listen_tcp ?(backlog = 16) ~addr ~port () =
+  let inet = Unix.inet_addr_of_string addr in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (inet, port));
+     Unix.listen fd backlog
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     (match e with
+     | Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+       raise
+         (Bind_error
+            (Printf.sprintf "%s:%d is already in use (EADDRINUSE)" addr port))
+     | Unix.Unix_error (Unix.EACCES, _, _) ->
+       raise
+         (Bind_error (Printf.sprintf "binding %s:%d refused (EACCES)" addr port))
+     | e -> raise e));
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  (fd, bound_port)
+
 let http_status = function
   | 200 -> "200 OK"
   | 404 -> "404 Not Found"
@@ -159,20 +193,7 @@ let accept_loop ~watchdog ~stopping listen_fd =
   done
 
 let start ?(addr = "127.0.0.1") ?(port = 0) ?watchdog () =
-  let inet = Unix.inet_addr_of_string addr in
-  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try
-     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
-     Unix.bind listen_fd (Unix.ADDR_INET (inet, port));
-     Unix.listen listen_fd 16
-   with e ->
-     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-     raise e);
-  let bound_port =
-    match Unix.getsockname listen_fd with
-    | Unix.ADDR_INET (_, p) -> p
-    | Unix.ADDR_UNIX _ -> assert false
-  in
+  let listen_fd, bound_port = listen_tcp ~addr ~port () in
   let stopping = Atomic.make false in
   let domain =
     Domain.spawn (fun () -> accept_loop ~watchdog ~stopping listen_fd)

@@ -87,6 +87,9 @@ let counter_help ev =
   | Contains_pred -> "CONTAINS lookups that fell back to a predecessor bucket"
   | Sweep_chunk_claimed -> "Bucket chunks claimed from the sweep cursor"
   | Sweep_buckets_migrated -> "Buckets processed by cooperative sweep chunks"
+  | Server_conn -> "Client connections accepted by the KV server"
+  | Server_request -> "Request frames answered by the KV server"
+  | Server_error -> "Protocol errors answered by the KV server"
 
 let span_help s =
   match (s : Event.span) with
@@ -94,6 +97,7 @@ let span_help s =
   | Slowpath_span -> "Announce-and-help slow path duration, nanoseconds"
   | Sweep_span -> "Sweep chunk migration duration, nanoseconds"
   | Sweep_helpers -> "Distinct domains that claimed chunks during one migration"
+  | Server_span -> "KV server request service time (read to reply), nanoseconds"
 
 let render_counters b probe =
   List.iter

@@ -1,0 +1,41 @@
+type dist = Uniform | Zipf of float
+
+type sampler = {
+  key_range : int;
+  alias : Nbhash_util.Alias.t option;  (* None = uniform *)
+  scramble : bool;  (* permute Zipf ranks (only when key_range is 2^k) *)
+}
+
+let sampler ?(dist = Uniform) ~key_range () =
+  if key_range < 2 then invalid_arg "Keystream.sampler: key_range < 2";
+  match dist with
+  | Uniform -> { key_range; alias = None; scramble = false }
+  | Zipf s ->
+    if s < 0. then invalid_arg "Keystream.sampler: Zipf exponent < 0";
+    {
+      key_range;
+      alias = Some (Nbhash_util.Alias.zipf ~n:key_range ~s);
+      scramble = Nbhash_util.Bits.is_pow2 key_range;
+    }
+
+let key_range s = s.key_range
+
+(* Zipf ranks map to keys through a cheap bijective scramble so the
+   popular keys do not all collide into low-numbered buckets. *)
+let[@inline] scramble s rank = (rank * 0x9E3779B1) land (s.key_range - 1)
+
+let draw s rng =
+  match s.alias with
+  | None -> Nbhash_util.Xoshiro.below rng s.key_range
+  | Some alias ->
+    let rank = Nbhash_util.Alias.draw alias rng in
+    if s.scramble then scramble s rank else rank
+
+type t = { sampler : sampler; rng : Nbhash_util.Xoshiro.t }
+
+let of_sampler sampler ~seed = { sampler; rng = Nbhash_util.Xoshiro.create seed }
+
+let create ?dist ~key_range ~seed () =
+  of_sampler (sampler ?dist ~key_range ()) ~seed
+
+let next t = draw t.sampler t.rng

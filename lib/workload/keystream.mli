@@ -1,0 +1,37 @@
+(** Seeded key-stream generation, shared by the benchmark workloads
+    and the server load generator.
+
+    A {!sampler} is an immutable description of a key-popularity
+    distribution over [0, key_range): uniform, or Zipf(s) with the
+    ranks spread across buckets by a bijective scramble (so the
+    popular keys do not all collide into low-numbered buckets). It is
+    safe to share across domains; each draw uses only the caller's
+    PRNG and allocates nothing.
+
+    A {!t} pairs a sampler with a private PRNG stream: a stateful,
+    single-domain key stream for callers that do not manage their own
+    generator (one per load-generator connection). *)
+
+type dist = Uniform | Zipf of float
+
+type sampler
+
+val sampler : ?dist:dist -> key_range:int -> unit -> sampler
+(** Defaults to [Uniform]. Requires [key_range >= 2] and a
+    non-negative Zipf exponent. *)
+
+val key_range : sampler -> int
+
+val draw : sampler -> Nbhash_util.Xoshiro.t -> int
+(** One key in [0, key_range); allocation-free. *)
+
+type t
+
+val create : ?dist:dist -> key_range:int -> seed:int -> unit -> t
+(** A fresh stream; distinct seeds give uncorrelated streams. *)
+
+val of_sampler : sampler -> seed:int -> t
+(** Share one (possibly expensive) Zipf alias table across streams. *)
+
+val next : t -> int
+(** The next key of the stream; allocation-free. *)

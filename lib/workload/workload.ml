@@ -2,7 +2,7 @@ type kind = Lookup | Insert | Remove
 
 type distribution = Uniform | Zipf of float
 
-type sampler = Any | Ranked of Nbhash_util.Alias.t
+type sampler = Keystream.sampler
 
 type spec = {
   key_range : int;
@@ -16,27 +16,16 @@ let spec ?(lookup_ratio = 0.) ?(prepopulate = 0.5) ?(dist = Uniform)
   if key_range < 2 then invalid_arg "key_range < 2";
   if lookup_ratio < 0. || lookup_ratio > 1. then invalid_arg "lookup_ratio";
   if prepopulate < 0. || prepopulate > 1. then invalid_arg "prepopulate";
-  let sampler =
+  let dist =
     match dist with
-    | Uniform -> Any
+    | Uniform -> Keystream.Uniform
     | Zipf s ->
       if s < 0. then invalid_arg "Zipf exponent < 0";
-      Ranked (Nbhash_util.Alias.zipf ~n:key_range ~s)
+      Keystream.Zipf s
   in
-  { key_range; lookup_ratio; prepopulate; sampler }
+  { key_range; lookup_ratio; prepopulate; sampler = Keystream.sampler ~dist ~key_range () }
 
-(* Zipf ranks map to keys through a cheap bijective scramble so the
-   popular keys do not all collide into low-numbered buckets. *)
-let scramble spec rank =
-  (rank * 0x9E3779B1) land (spec.key_range - 1)
-
-let draw_key spec rng =
-  match spec.sampler with
-  | Any -> Nbhash_util.Xoshiro.below rng spec.key_range
-  | Ranked alias ->
-    let rank = Nbhash_util.Alias.draw alias rng in
-    if Nbhash_util.Bits.is_pow2 spec.key_range then scramble spec rank
-    else rank
+let draw_key spec rng = Keystream.draw spec.sampler rng
 
 let next spec rng =
   let k = draw_key spec rng in

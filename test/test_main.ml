@@ -11,4 +11,5 @@ let () =
    @ Test_workload.suite @ Test_telemetry.suite @ Test_json.suite
    @ Test_trace.suite @ Test_churn.suite
    @ Test_inspect.suite @ Test_openmetrics.suite
+   @ Test_protocol.suite @ Test_server.suite
    @ Test_lint.suite)

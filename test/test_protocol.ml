@@ -1,0 +1,273 @@
+(* The KV wire protocol: codec round-trips (randomized over the full
+   key range and value shapes including empty), framed IO over a
+   socketpair, and the malformed-frame behaviour of a live server —
+   framing errors get an ERR and a close, payload errors get an ERR
+   and a connection that keeps working, and the table behind the
+   server stays healthy through all of it. *)
+
+module P = Nbhash_server.Protocol
+module Server = Nbhash_server.Server
+module Backend = Nbhash_server.Backend
+
+let request_eq (a : P.request) (b : P.request) = a = b
+
+let request_pp fmt (r : P.request) =
+  Format.pp_print_string fmt
+    (match r with
+    | Get k -> Printf.sprintf "Get %d" k
+    | Put (k, v) -> Printf.sprintf "Put (%d, %d bytes)" k (String.length v)
+    | Del k -> Printf.sprintf "Del %d" k
+    | Ping -> "Ping"
+    | Drain -> "Drain"
+    | Stat -> "Stat")
+
+let request_t = Alcotest.testable request_pp request_eq
+
+let response_pp fmt (r : P.response) =
+  Format.pp_print_string fmt
+    (match r with
+    | Value v -> Printf.sprintf "Value (%d bytes)" (String.length v)
+    | Ok -> "Ok"
+    | Not_found -> "Not_found"
+    | Err m -> "Err " ^ m)
+
+let response_t = Alcotest.testable response_pp ( = )
+
+(* --- randomized codec round-trips --- *)
+
+let gen_key = QCheck2.Gen.(map (fun k -> k land (P.max_key - 1)) nat)
+
+let gen_value =
+  (* Biased towards the edges: empty, one byte, and arbitrary binary
+     strings (any byte value, embedded NULs included). *)
+  QCheck2.Gen.(
+    oneof
+      [
+        return "";
+        map (String.make 1) (map Char.chr (int_bound 255));
+        string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 512);
+      ])
+
+let gen_request =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun k -> P.Get k) gen_key;
+        map2 (fun k v -> P.Put (k, v)) gen_key gen_value;
+        map (fun k -> P.Del k) gen_key;
+        return P.Ping;
+        return P.Drain;
+        return P.Stat;
+      ])
+
+let gen_response =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun v -> P.Value v) gen_value;
+        return P.Ok;
+        return P.Not_found;
+        map (fun m -> P.Err m) (string_size (int_bound 64));
+      ])
+
+let prop_request_roundtrip =
+  QCheck2.Test.make ~name:"request codec round-trips" ~count:500 gen_request
+    (fun r -> P.request_of_payload (P.request_to_payload r) = Result.Ok r)
+
+let prop_response_roundtrip =
+  QCheck2.Test.make ~name:"response codec round-trips" ~count:500 gen_response
+    (fun r -> P.response_of_payload (P.response_to_payload r) = Result.Ok r)
+
+(* --- codec edges --- *)
+
+let test_codec_edges () =
+  let rt r =
+    Alcotest.(check (result request_t string))
+      "round-trip" (Result.Ok r)
+      (P.request_of_payload (P.request_to_payload r))
+  in
+  rt (P.Get 0);
+  rt (P.Get (P.max_key - 1));
+  rt (P.Put (0, ""));
+  rt (P.Put (P.max_key - 1, String.make 4096 '\x00'));
+  (* Keys at or above max_key are reserved: the codec rejects them on
+     decode even though the encoder can be coerced into emitting one. *)
+  (match P.request_of_payload (P.request_to_payload (P.Get P.max_key)) with
+  | Result.Error _ -> ()
+  | Result.Ok _ -> Alcotest.fail "key = max_key decoded");
+  (match P.request_of_payload "" with
+  | Result.Error _ -> ()
+  | Result.Ok _ -> Alcotest.fail "empty payload decoded");
+  (* Wrong body sizes for fixed-size opcodes. *)
+  List.iter
+    (fun payload ->
+      match P.request_of_payload payload with
+      | Result.Error _ -> ()
+      | Result.Ok _ ->
+        Alcotest.fail (Printf.sprintf "bad payload %S decoded" payload))
+    [ "\x01abc"; "\x03"; "\x04x"; "\x05xy"; "\x06z"; "\x02\x00\x00" ];
+  match P.request_of_payload "\x7fxxxxxxxx" with
+  | Result.Error msg ->
+    Alcotest.(check bool) "bad opcode named" true
+      (String.length msg >= 10 && String.sub msg 0 10 = "bad opcode")
+  | Result.Ok _ -> Alcotest.fail "bad opcode decoded"
+
+(* --- framed IO over a socketpair --- *)
+
+let test_framed_io () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      P.write_request a (P.Put (7, "hello"));
+      P.write_request a P.Ping;
+      (match P.read_frame b with
+      | Result.Ok (Some payload) ->
+        Alcotest.(check (result request_t string))
+          "first frame" (Result.Ok (P.Put (7, "hello")))
+          (P.request_of_payload payload)
+      | _ -> Alcotest.fail "first frame unreadable");
+      (match P.read_frame b with
+      | Result.Ok (Some payload) ->
+        Alcotest.(check (result request_t string))
+          "second frame" (Result.Ok P.Ping)
+          (P.request_of_payload payload)
+      | _ -> Alcotest.fail "second frame unreadable");
+      (* Clean EOF at a frame boundary. *)
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      match P.read_frame b with
+      | Result.Ok None -> ()
+      | _ -> Alcotest.fail "EOF at boundary not clean");
+  (* Truncation inside the prefix and inside the body. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  ignore (Unix.write_substring a "\x00\x00" 0 2);
+  Unix.shutdown a Unix.SHUTDOWN_SEND;
+  (match P.read_frame b with
+  | Result.Error msg ->
+    Alcotest.(check bool) "truncated prefix reported" true
+      (String.length msg >= 9 && String.sub msg 0 9 = "truncated")
+  | _ -> Alcotest.fail "truncated prefix not an error");
+  Unix.close a;
+  Unix.close b;
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  ignore (Unix.write_substring a "\x00\x00\x00\x0aXY" 0 6);
+  Unix.shutdown a Unix.SHUTDOWN_SEND;
+  (match P.read_frame b with
+  | Result.Error msg ->
+    Alcotest.(check bool) "truncated body reported" true
+      (String.length msg >= 9 && String.sub msg 0 9 = "truncated")
+  | _ -> Alcotest.fail "truncated body not an error");
+  Unix.close a;
+  Unix.close b;
+  (* Oversized declared length is rejected without allocating it. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  ignore (Unix.write_substring a "\x7f\xff\xff\xff" 0 4);
+  (match P.read_frame ~max_frame:1024 b with
+  | Result.Error msg ->
+    Alcotest.(check bool) "oversized reported" true
+      (String.length msg >= 9 && String.sub msg 0 9 = "oversized")
+  | _ -> Alcotest.fail "oversized length not an error");
+  Unix.close a;
+  Unix.close b
+
+(* --- malformed frames against a live server --- *)
+
+let with_server ~kind f =
+  let server =
+    Server.start
+      ~config:
+        {
+          Server.default_config with
+          backend = kind;
+          shards = 2;
+          workers = 2;
+        }
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () -> f server)
+
+let client port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  fd
+
+let expect_err name fd =
+  match P.read_response fd with
+  | Result.Ok (P.Err _) -> ()
+  | other ->
+    Alcotest.fail
+      (Printf.sprintf "%s: expected ERR, got %s" name
+         (match other with
+         | Result.Ok r -> Format.asprintf "%a" response_pp r
+         | Result.Error m -> "io error: " ^ m))
+
+let expect name fd want =
+  Alcotest.(check (result response_t string)) name want (P.read_response fd)
+
+let test_malformed_against_server () =
+  with_server ~kind:Backend.Lockfree (fun server ->
+      let port = Server.port server in
+      (* A truncated length prefix: ERR, then the connection is gone. *)
+      let fd = client port in
+      ignore (Unix.write_substring fd "\x00\x00" 0 2);
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      expect_err "truncated prefix" fd;
+      (match P.read_frame fd with
+      | Result.Ok None -> ()
+      | _ -> Alcotest.fail "connection survived a framing error");
+      Unix.close fd;
+      (* An oversized declared length: ERR, connection closed. *)
+      let fd = client port in
+      ignore (Unix.write_substring fd "\x7f\xff\xff\xff" 0 4);
+      expect_err "oversized length" fd;
+      (match P.read_frame fd with
+      | Result.Ok None -> ()
+      | _ -> Alcotest.fail "connection survived an oversized length");
+      Unix.close fd;
+      (* A zero declared length is a framing error too. *)
+      let fd = client port in
+      ignore (Unix.write_substring fd "\x00\x00\x00\x00" 0 4);
+      expect_err "zero length" fd;
+      Unix.close fd;
+      (* Payload-level garbage: ERR, but the connection keeps working. *)
+      let fd = client port in
+      P.write_frame fd "\x7fjunk";
+      expect_err "bad opcode" fd;
+      P.write_request fd P.Ping;
+      expect "ping after bad opcode" fd (Result.Ok P.Ok);
+      P.write_frame fd "\x01short";
+      expect_err "short GET body" fd;
+      P.write_request fd (P.Get 1);
+      expect "get after short body" fd (Result.Ok P.Not_found);
+      (* A key out of range is a payload error: rejected, connection
+         usable, nothing stored under a reserved key. *)
+      P.write_frame fd (P.request_to_payload (P.Put (P.max_key, "x")));
+      expect_err "reserved key" fd;
+      Unix.close fd;
+      (* After all that abuse the table still works and holds
+         invariants. *)
+      let fd = client port in
+      P.write_request fd (P.Put (42, "v"));
+      expect "put after abuse" fd (Result.Ok P.Ok);
+      P.write_request fd (P.Get 42);
+      expect "get after abuse" fd (Result.Ok (P.Value "v"));
+      Unix.close fd;
+      Backend.check_invariants (Server.backend server))
+
+let suite =
+  [
+    ( "server protocol",
+      [
+        QCheck_alcotest.to_alcotest prop_request_roundtrip;
+        QCheck_alcotest.to_alcotest prop_response_roundtrip;
+        Alcotest.test_case "codec edges" `Quick test_codec_edges;
+        Alcotest.test_case "framed io" `Quick test_framed_io;
+        Alcotest.test_case "malformed frames, live server" `Quick
+          test_malformed_against_server;
+      ] );
+  ]

@@ -1,0 +1,262 @@
+(* The KV service end to end: port-0 binding and the EADDRINUSE error
+   path, STAT self-description, graceful drain (no acknowledged write
+   lost, migrations finished, watchdog clean), and a small in-process
+   open-loop load run whose report renders as valid bench-v2 JSON. *)
+
+module P = Nbhash_server.Protocol
+module Server = Nbhash_server.Server
+module Backend = Nbhash_server.Backend
+module Loadgen = Nbhash_server.Loadgen
+module V = Nbhash.Hashset_intf
+module J = Nbhash_util.Json
+
+let client port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  fd
+
+let rpc fd req =
+  P.write_request fd req;
+  match P.read_response fd with
+  | Result.Ok r -> r
+  | Result.Error msg -> Alcotest.fail ("rpc: " ^ msg)
+
+(* --- binding --- *)
+
+let test_bind () =
+  (* Port 0 binds a free port and reports the real one. *)
+  let server =
+    Server.start ~config:{ Server.default_config with workers = 1 } ()
+  in
+  Alcotest.(check bool) "picked a real port" true (Server.port server > 0);
+  (* The port is genuinely bound: a second bind on it fails with the
+     one-line Bind_error, not a raw Unix error. *)
+  (match
+     Nbhash_telemetry.Metrics_server.listen_tcp ~addr:"127.0.0.1"
+       ~port:(Server.port server) ()
+   with
+  | exception Nbhash_telemetry.Metrics_server.Bind_error msg ->
+    Alcotest.(check bool) "message names EADDRINUSE" true
+      (String.length msg >= 12
+      && String.sub msg (String.length msg - 12) 12 = "(EADDRINUSE)")
+  | _fd, _port -> Alcotest.fail "double bind succeeded");
+  Server.stop server
+
+(* --- STAT --- *)
+
+let test_stat () =
+  let server =
+    Server.start
+      ~config:
+        {
+          Server.default_config with
+          backend = Backend.Waitfree;
+          shards = 3;
+          workers = 1;
+        }
+      ()
+  in
+  let fd = client (Server.port server) in
+  (match rpc fd P.Stat with
+  | P.Value body -> (
+    match J.parse body with
+    | Result.Error msg -> Alcotest.fail ("STAT is not JSON: " ^ msg)
+    | Result.Ok doc ->
+      let num name =
+        match Option.bind (J.member name doc) J.to_num with
+        | Some n -> int_of_float n
+        | None -> Alcotest.fail ("STAT lacks " ^ name)
+      in
+      (match J.member "backend" doc with
+      | Some (J.Str s) -> Alcotest.(check string) "backend" "waitfree" s
+      | _ -> Alcotest.fail "STAT lacks backend");
+      Alcotest.(check int) "shards" 3 (num "shards");
+      Alcotest.(check int) "workers" 1 (num "workers");
+      Alcotest.(check int) "cardinal" 0 (num "cardinal"))
+  | other ->
+    Alcotest.fail
+      (match other with
+      | P.Err m -> "STAT answered ERR: " ^ m
+      | _ -> "STAT answered a non-VALUE response"));
+  ignore (rpc fd (P.Put (5, "x")));
+  (match rpc fd P.Stat with
+  | P.Value body ->
+    Alcotest.(check bool) "cardinal counts the put" true
+      (match
+         Option.bind (Result.to_option (J.parse body)) (fun d ->
+             Option.bind (J.member "cardinal" d) J.to_num)
+       with
+      | Some 1. -> true
+      | _ -> false)
+  | _ -> Alcotest.fail "second STAT failed");
+  Unix.close fd;
+  Server.stop server
+
+(* --- graceful drain --- *)
+
+(* Acked writes before a drain are all readable after it; the drain
+   finishes any open migration window (progress 1.0 on every shard)
+   and leaves nothing pending for the watchdog to flag. *)
+let test_drain ~kind () =
+  let wd = Nbhash_telemetry.Watchdog.global ~max_age_ns:(30 * 1_000_000_000) () in
+  let server =
+    Server.start
+      ~config:
+        {
+          Server.default_config with
+          backend = kind;
+          shards = 2;
+          workers = 2;
+        }
+      ()
+  in
+  let port = Server.port server in
+  let keys = List.init 300 (fun i -> i * 7) in
+  let fd = client port in
+  List.iter
+    (fun k ->
+      match rpc fd (P.Put (k, "v" ^ string_of_int k)) with
+      | P.Ok -> ()
+      | _ -> Alcotest.fail "put not acked")
+    keys;
+  (* Open a migration window on both shards so the drain has real
+     work: the acceptance criterion is progress 1.0 afterwards. *)
+  let th = Backend.register (Server.backend server) in
+  Backend.force_resize th ~shard:0 ~grow:true;
+  Backend.force_resize th ~shard:1 ~grow:true;
+  Backend.unregister th;
+  Alcotest.(check bool) "watchdog quiet under load" true
+    (Nbhash_telemetry.Watchdog.poll wd = []);
+  (* Drain over the wire: OK comes back only after migrations are
+     done, and the workers shut down afterwards. *)
+  (match rpc fd P.Drain with
+  | P.Ok -> ()
+  | _ -> Alcotest.fail "drain not acked");
+  Unix.close fd;
+  Server.wait server;
+  let backend = Server.backend server in
+  for shard = 0 to Backend.shard_count backend - 1 do
+    let v = Backend.inspect_shard backend shard in
+    Alcotest.(check bool)
+      (Printf.sprintf "shard %d window closed" shard)
+      false v.V.migrating;
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "shard %d progress" shard)
+      1.0 v.V.migration_progress
+  done;
+  (* Every acked write survived the drain. *)
+  let h = Backend.register backend in
+  List.iter
+    (fun k ->
+      match Backend.get h k with
+      | Some v when v = "v" ^ string_of_int k -> ()
+      | Some _ -> Alcotest.fail (Printf.sprintf "key %d: wrong value" k)
+      | None -> Alcotest.fail (Printf.sprintf "acked key %d lost by drain" k))
+    keys;
+  Backend.unregister h;
+  Backend.check_invariants backend;
+  Alcotest.(check bool) "watchdog clean after drain" true
+    (Nbhash_telemetry.Watchdog.poll wd = [])
+
+(* A new connection arriving after the drain is refused or dropped,
+   never served. *)
+let test_drain_refuses_new_connections () =
+  let server =
+    Server.start ~config:{ Server.default_config with workers = 2 } ()
+  in
+  let port = Server.port server in
+  let fd = client port in
+  (match rpc fd P.Drain with
+  | P.Ok -> ()
+  | _ -> Alcotest.fail "drain not acked");
+  Unix.close fd;
+  Server.wait server;
+  (match client port with
+  | fd ->
+    (* The connect itself may be absorbed by the dead listener's
+       backlog; the next read must then see EOF, never a served
+       response. *)
+    (try P.write_request fd P.Ping with Unix.Unix_error _ -> ());
+    (match P.read_response fd with
+    | Result.Error _ -> ()
+    | Result.Ok _ -> Alcotest.fail "drained server served a new connection");
+    Unix.close fd
+  | exception Unix.Unix_error _ -> ())
+
+(* --- load generator --- *)
+
+let test_loadgen () =
+  let server =
+    Server.start
+      ~config:{ Server.default_config with shards = 2; workers = 2 }
+      ()
+  in
+  let report =
+    Loadgen.run
+      ~config:
+        {
+          Loadgen.default_config with
+          port = Server.port server;
+          conns = 2;
+          rate = 4000.;
+          duration_s = 0.5;
+          key_range = 1 lsl 10;
+          dist = Nbhash_workload.Keystream.Zipf 1.1;
+        }
+      ()
+  in
+  Alcotest.(check bool) "sent some requests" true (report.Loadgen.sent > 100);
+  Alcotest.(check int) "no errors" 0 report.Loadgen.errors;
+  Alcotest.(check bool) "percentiles ordered" true
+    (report.Loadgen.p50_ns <= report.Loadgen.p99_ns
+    && report.Loadgen.p99_ns <= report.Loadgen.p999_ns);
+  Alcotest.(check bool) "impl from STAT" true
+    (report.Loadgen.impl = "server/lockfreex2");
+  (* The bench-v2 rendering parses and carries the identity fields
+     bench_compare keys on, plus a positive throughput. *)
+  (match J.parse (Loadgen.to_bench_json report) with
+  | Result.Error msg -> Alcotest.fail ("bench JSON unparsable: " ^ msg)
+  | Result.Ok doc ->
+    (match J.member "schema" doc with
+    | Some (J.Str "nbhash-bench-v2") -> ()
+    | _ -> Alcotest.fail "wrong schema");
+    (match J.member "mode" doc with
+    | Some (J.Str "load") -> ()
+    | _ -> Alcotest.fail "wrong mode");
+    let result =
+      match Option.bind (J.member "results" doc) J.to_list with
+      | Some [ r ] -> r
+      | _ -> Alcotest.fail "expected exactly one result"
+    in
+    (match Option.bind (J.member "ops_per_usec" result) J.to_num with
+    | Some ops -> Alcotest.(check bool) "positive throughput" true (ops > 0.)
+    | None -> Alcotest.fail "no ops_per_usec");
+    List.iter
+      (fun name ->
+        match
+          Option.bind (J.member "params" result) (fun p -> J.member name p)
+        with
+        | Some _ -> ()
+        | None -> Alcotest.fail ("params lack " ^ name))
+      [ "workers"; "key_range"; "lookup_ratio"; "duration"; "p99_ns" ]);
+  Server.stop server;
+  Backend.check_invariants (Server.backend server)
+
+let suite =
+  [
+    ( "kv server",
+      [
+        Alcotest.test_case "port 0 binds and reports; EADDRINUSE is clean"
+          `Quick test_bind;
+        Alcotest.test_case "stat describes the server" `Quick test_stat;
+        Alcotest.test_case "graceful drain (lockfree)" `Quick
+          (test_drain ~kind:Backend.Lockfree);
+        Alcotest.test_case "graceful drain (waitfree)" `Quick
+          (test_drain ~kind:Backend.Waitfree);
+        Alcotest.test_case "drained server refuses new connections" `Quick
+          test_drain_refuses_new_connections;
+        Alcotest.test_case "open-loop loadgen and bench-v2 report" `Quick
+          test_loadgen;
+      ] );
+  ]
