@@ -56,7 +56,11 @@ let rec next_live slot =
   | None -> None
   | Some m ->
     if is_unlinkable (Atomic.get m.state) then begin
-      ignore (Atomic.compare_and_set slot (Some m) (Atomic.get m.next));
+      ignore
+        (Atomic.compare_and_set slot (Some m) (Atomic.get m.next))
+      [@nbhash.cas_ok
+        "unlinking a terminal node is an optional shortcut: losing the race \
+        means another traversal already cut it (or the slot moved on)"];
       next_live m.next
     end
     else Some m
@@ -73,7 +77,11 @@ let rec resolve n =
 and resolve_ins n =
   let rec walk slot =
     match next_live slot with
-    | None -> ignore (Atomic.compare_and_set n.state Pending_ins Data)
+    | None ->
+      ignore (Atomic.compare_and_set n.state Pending_ins Data)
+      [@nbhash.cas_ok
+        "helping: every helper CASes the same pending state to the same \
+        verdict; a lost race means the verdict is already published"]
     | Some m ->
       if m.key <> n.key then walk m.next
       else begin
@@ -84,6 +92,9 @@ and resolve_ins n =
         | Data ->
           (* the key is present: this insert fails *)
           ignore (Atomic.compare_and_set n.state Pending_ins Noop)
+          [@nbhash.cas_ok
+            "helping: every helper CASes the same pending state to the same \
+            verdict; a lost race means the verdict is already published"]
         | Killed _ | Done_rem | Noop -> walk m.next
         | Marker -> walk m.next
       end
@@ -93,7 +104,11 @@ and resolve_ins n =
 and resolve_rem n =
   let rec walk slot =
     match next_live slot with
-    | None -> ignore (Atomic.compare_and_set n.state Pending_rem Noop)
+    | None ->
+      ignore (Atomic.compare_and_set n.state Pending_rem Noop)
+      [@nbhash.cas_ok
+        "helping: every helper CASes the same pending state to the same \
+        verdict; a lost race means the verdict is already published"]
     | Some m ->
       if m.key <> n.key then walk m.next
       else begin
@@ -104,10 +119,16 @@ and resolve_rem n =
         | Data ->
           if Atomic.compare_and_set m.state Data (Killed n) then
             ignore (Atomic.compare_and_set n.state Pending_rem Done_rem)
+            [@nbhash.cas_ok
+              "helping: every helper CASes the same pending state to the same \
+              verdict; a lost race means the verdict is already published"]
           else walk slot (* re-examine m's new state *)
         | Killed r when r == n ->
           (* a helper of this very remove already consumed m *)
           ignore (Atomic.compare_and_set n.state Pending_rem Done_rem)
+          [@nbhash.cas_ok
+            "helping: every helper CASes the same pending state to the same \
+            verdict; a lost race means the verdict is already published"]
         | Killed _ | Done_rem | Noop -> walk m.next
         | Marker -> walk m.next
       end

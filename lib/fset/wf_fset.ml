@@ -56,6 +56,9 @@ module Make (E : Elems.S) : Fset_intf.WF = struct
       Atomic.set op.prio infinity_prio;
       ignore
         (Atomic.compare_and_set t.node o { elems; slot = Atomic.make Empty })
+      [@nbhash.cas_ok
+        "helping: all helpers derive the same successor node from the same \
+         immutable (node, op) pair; exactly one CAS installs it"]
 
   (* Once a slot is CASed from Empty to Frozen its node can never be
      replaced (replacement requires a completed Pending), so the set

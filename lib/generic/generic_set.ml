@@ -1,3 +1,4 @@
+module Atomic = Nbhash_util.Nb_atomic
 module Policy = Nbhash.Policy
 module Sweep = Nbhash.Sweep
 
@@ -40,6 +41,9 @@ module Make (K : Hashtbl.HashedType) = struct
     let b = Array.sub elems 0 (n - 1) in
     if i < n - 1 then b.(i) <- elems.(n - 1);
     b
+  [@@nbhash.plain_ok
+    "copy-on-write: [b] is freshly allocated here and stays private until \
+     published by a bucket CAS"]
 
   let filter_mask elems ~mask ~target =
     let keep k = hash k land mask = target in
@@ -104,12 +108,19 @@ module Make (K : Hashtbl.HashedType) = struct
       in
       ignore
         (Atomic.compare_and_set hn.buckets.(i) Uninit (Node { elems; ok = true }))
+      [@nbhash.cas_ok
+        "bucket init: racing initializers freeze the same predecessor slots \
+         and build identical contents; the first CAS publishes"]
     | (Node _ | Uninit), _ -> ());
     ()
 
   (* Cooperative sweep hooks (see Nbhash.Sweep and Table_core). *)
   let sweep_migrate hn i = init_bucket hn i
-  let sweep_complete hn () = Atomic.set hn.pred None
+  let sweep_complete hn () =
+    Atomic.set hn.pred None
+    [@nbhash.cas_ok
+      "one-way Some -> None: every writer publishes the same final value \
+       once the sweep is complete"]
 
   let help_migration t hn =
     let m = t.policy.Policy.migration in
@@ -133,10 +144,16 @@ module Make (K : Hashtbl.HashedType) = struct
         init_bucket hn i
       done;
       if m.Policy.eager then Sweep.finish hn.sweep;
-      Atomic.set hn.pred None;
+      Atomic.set hn.pred None
+      [@nbhash.cas_ok
+      "one-way Some -> None: every writer publishes the same final value \
+       once the sweep is complete"];
       let size = if grow then hn.size * 2 else hn.size / 2 in
       let hn' = make_hnode ~size ~pred:(Some hn) in
       ignore (Atomic.compare_and_set t.head hn hn')
+      [@nbhash.cas_ok
+        "a lost race means another domain already installed a fresh table; \
+         the resize trigger re-fires if more growth is needed"]
     end
 
   type kind = Add | Del

@@ -125,7 +125,10 @@ let help_finish slot =
       in
       Atomic.set op.resp resp;
       Atomic.set op.prio infinity_prio;
-      ignore (Atomic.compare_and_set slot cur (fresh_node elems)))
+      ignore (Atomic.compare_and_set slot cur (fresh_node elems))
+      [@nbhash.cas_ok
+      "helping: all helpers derive the same successor node from the same \
+       frozen (node, op) pair; exactly one CAS installs it"])
 
 let rec do_freeze slot =
   match Atomic.get slot with
@@ -259,7 +262,10 @@ let resize t grow =
       init_bucket hn i
     done;
     if m.Policy.eager then Sweep.finish hn.sweep;
-    Atomic.set hn.pred None;
+    Atomic.set hn.pred None
+    [@nbhash.cas_ok
+    "one-way Some -> None: every writer publishes the same final value \
+     once the sweep is complete"];
     let size = if grow then hn.size * 2 else hn.size / 2 in
     let hn' = make_hnode ~size ~pred:(Some hn) in
     if Atomic.compare_and_set t.head hn hn' then begin

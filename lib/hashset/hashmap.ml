@@ -24,12 +24,18 @@ let pairs_put pairs k v =
     let b = Array.make (n + 1) (k, v) in
     Array.blit pairs 0 b 0 n;
     b
+[@@nbhash.plain_ok
+  "copy-on-write: [b] is freshly allocated here and stays private until \
+   published by a bucket CAS"]
 
 let pairs_remove pairs i =
   let n = Array.length pairs in
   let b = Array.sub pairs 0 (n - 1) in
   if i < n - 1 then b.(i) <- pairs.(n - 1);
   b
+[@@nbhash.plain_ok
+  "copy-on-write: [b] is freshly allocated here and stays private until \
+   published by a bucket CAS"]
 
 let pairs_filter_mask pairs ~mask ~target =
   let keep (k, _) = k land mask = target in
@@ -48,6 +54,9 @@ let pairs_filter_mask pairs ~mask ~target =
       pairs;
     b
   end
+[@@nbhash.plain_ok
+  "copy-on-write: [b] is freshly allocated here and stays private until \
+   published by a bucket CAS"]
 
 (* The LFArrayOpt bucket layout, with pairs. *)
 type 'v bslot = Uninit | Node of { pairs : (int * 'v) array; ok : bool }
@@ -123,6 +132,9 @@ let init_bucket hn i =
     in
     ignore
       (Atomic.compare_and_set hn.buckets.(i) Uninit (Node { pairs; ok = true }))
+    [@nbhash.cas_ok
+      "bucket init: racing initializers freeze the same predecessor slots \
+       and build identical contents; the first CAS publishes"]
   | (Node _ | Uninit), _ -> ());
   ()
 
@@ -152,10 +164,16 @@ let resize t grow =
       init_bucket hn i
     done;
     if m.Policy.eager then Sweep.finish hn.sweep;
-    Atomic.set hn.pred None;
+    Atomic.set hn.pred None
+    [@nbhash.cas_ok
+    "one-way Some -> None: every writer publishes the same final value \
+     once the sweep is complete"];
     let size = if grow then hn.size * 2 else hn.size / 2 in
     let hn' = make_hnode ~size ~pred:(Some hn) in
     ignore (Atomic.compare_and_set t.head hn hn')
+    [@nbhash.cas_ok
+      "a lost race means another domain already installed a fresh table; \
+       the resize trigger re-fires if more growth is needed"]
   end
 
 (* Apply [step] to the current mutable node of the bucket owning [k]:

@@ -155,7 +155,10 @@ module Make (F : Nbhash_fset.Fset_intf.CORE) = struct
         ignore (init_bucket hn i)
       done;
       if m.Policy.eager then Sweep.finish hn.sweep;
-      Atomic.set hn.pred None;
+      Atomic.set hn.pred None
+      [@nbhash.cas_ok
+      "one-way Some -> None: every writer publishes the same final value \
+       once the sweep is complete"];
       let size = if grow then hn.size * 2 else hn.size / 2 in
       let hn' = make_hnode ~size ~pred:(Some hn) in
       if Atomic.compare_and_set t.head hn hn' then begin

@@ -110,12 +110,18 @@ let pairs_put pairs k v =
     let b = Array.make (n + 1) (k, v) in
     Array.blit pairs 0 b 0 n;
     b
+[@@nbhash.plain_ok
+  "copy-on-write: [b] is freshly allocated here and stays private until \
+   published by a bucket CAS"]
 
 let pairs_remove pairs i =
   let n = Array.length pairs in
   let b = Array.sub pairs 0 (n - 1) in
   if i < n - 1 then b.(i) <- pairs.(n - 1);
   b
+[@@nbhash.plain_ok
+  "copy-on-write: [b] is freshly allocated here and stays private until \
+   published by a bucket CAS"]
 
 let pairs_filter_mask pairs ~mask ~target =
   let keep (k, _) = k land mask = target in
@@ -134,6 +140,9 @@ let pairs_filter_mask pairs ~mask ~target =
       pairs;
     b
   end
+[@@nbhash.plain_ok
+  "copy-on-write: [b] is freshly allocated here and stays private until \
+   published by a bucket CAS"]
 
 (* Deterministic application of an operation to an immutable pair
    array: (previous binding, replacement array). All helpers compute
@@ -163,7 +172,10 @@ let help_finish slot =
       let prev, pairs = apply_action n.pairs op in
       Atomic.set op.result prev;
       Atomic.set op.prio infinity_prio;
-      ignore (Atomic.compare_and_set slot cur (fresh_node pairs)))
+      ignore (Atomic.compare_and_set slot cur (fresh_node pairs))
+      [@nbhash.cas_ok
+      "helping: all helpers derive the same successor node from the same \
+       frozen (node, op) pair; exactly one CAS installs it"])
 
 let rec do_freeze slot =
   match Atomic.get slot with
@@ -232,6 +244,9 @@ let init_bucket hn i =
       else Array.append (freeze s i) (freeze s (i + hn.size))
     in
     ignore (Atomic.compare_and_set hn.buckets.(i) Uninit (fresh_node pairs))
+    [@nbhash.cas_ok
+      "bucket init: racing initializers freeze the same predecessor slots \
+       and build identical contents; the first CAS publishes"]
   | (N _ | Uninit), _ -> ());
   ()
 
@@ -268,7 +283,10 @@ let resize t grow =
       init_bucket hn i
     done;
     if m.Policy.eager then Sweep.finish hn.sweep;
-    Atomic.set hn.pred None;
+    Atomic.set hn.pred None
+    [@nbhash.cas_ok
+    "one-way Some -> None: every writer publishes the same final value \
+     once the sweep is complete"];
     let size = if grow then hn.size * 2 else hn.size / 2 in
     let hn' = make_hnode ~size ~pred:(Some hn) in
     if Atomic.compare_and_set t.head hn hn' then

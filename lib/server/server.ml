@@ -56,7 +56,10 @@ type t = {
   listen_fd : Unix.file_descr;
   stopping : bool Atomic.t;
   conns : Unix.file_descr list Atomic.t;
-  mutable domains : unit Domain.t list;
+  mutable domains : unit Domain.t list
+      [@nbhash.plain_ok
+        "written once by the booting thread before any worker can observe \
+         [t], then only read at drain/join time by that same thread"];
 }
 
 let port t = t.port

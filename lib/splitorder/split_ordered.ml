@@ -60,7 +60,10 @@ let segment_for t i =
   | Some seg -> seg
   | None ->
     let seg : segment = Array.init segment_size (fun _ -> Atomic.make None) in
-    ignore (Atomic.compare_and_set slot None (Some seg));
+    ignore (Atomic.compare_and_set slot None (Some seg))
+    [@nbhash.cas_ok
+      "segment publish: a losing initializer discards its fresh segment and \
+       reads the winner's on the next line"];
     Option.get (Atomic.get slot)
 
 (* Fetch bucket [i]'s dummy node, creating it (and, recursively, its
@@ -75,7 +78,10 @@ let rec bucket_dummy t i =
   | None ->
     let parent = if i = 0 then t.head else bucket_dummy t (Bits.unset_msb i) in
     let d = Ordered_list.insert_or_find ~start:parent (Bits.so_dummy_key i) in
-    Atomic.set slot (Some d);
+    Atomic.set slot (Some d)
+    [@nbhash.cas_ok
+      "idempotent publish: racing initializers obtain the same node from \
+       [insert_or_find], so every writer stores the same value"];
     d
 
 let bucket_for t k =

@@ -36,9 +36,16 @@ let reset () = Probe.reset (Atomic.get current)
 let with_recording ?shards f =
   let prev = Atomic.get current in
   let p = Probe.recording ?shards () in
-  Atomic.set current p;
+  Atomic.set current p
+  [@nbhash.cas_ok
+    "probe install/restore is performed by the single orchestrating thread \
+     (tests, bench harness) around a run, not raced by workers"];
   Fun.protect
-    ~finally:(fun () -> Atomic.set current prev)
+    ~finally:(fun () ->
+      Atomic.set current prev
+      [@nbhash.cas_ok
+        "probe install/restore is performed by the single orchestrating \
+         thread (tests, bench harness) around a run, not raced by workers"])
     (fun () ->
       let result = f () in
       (result, Probe.snapshot p))

@@ -23,6 +23,9 @@ let monotone base last i raw =
   if raw < last.(i) then base.(i) <- base.(i) + last.(i);
   last.(i) <- raw;
   base.(i) + raw
+[@@nbhash.plain_ok
+  "the accumulators are owned by the single scraping thread; workers only \
+   ever touch their own probe cells"]
 
 (* For tests: forget accumulated bases so a fresh probe reads from
    zero again. Not part of the scrape path. *)
@@ -31,6 +34,9 @@ let reset_accumulators () =
   Array.fill ctr_last 0 Event.count 0;
   Array.fill hbk_base 0 (Array.length hbk_base) 0;
   Array.fill hbk_last 0 (Array.length hbk_last) 0
+[@@nbhash.plain_ok
+  "test-only reset, called while no scraper is running; the accumulators \
+   are owned by the single scraping thread"]
 
 let escape_help s =
   let b = Buffer.create (String.length s) in

@@ -27,7 +27,14 @@ module Atomic = Nbhash_util.Nb_atomic
    latencies), operation code, argument, writing domain id. *)
 let words_per_record = 4
 
-type lane = { buf : int array; mutable pos : int (* total writes, monotonic *) }
+type lane = {
+  buf : int array;
+  mutable pos : int (* total writes, monotonic *)
+      [@nbhash.plain_ok
+        "lossy by design (DESIGN.md 13): each lane is written by the domains \
+         that hash to it without synchronization; readers tolerate torn \
+         snapshots"];
+}
 
 type t = {
   lanes : lane array;
@@ -59,6 +66,9 @@ let clear t =
       lane.pos <- 0;
       Array.fill lane.buf 0 (Array.length lane.buf) 0)
     t.lanes
+[@@nbhash.plain_ok
+  "reset path, called between runs while no writer is emitting; the ring is \
+   racy by design (DESIGN.md 13)"]
 
 (* The ambient sink, mirroring [Global]'s ambient probe. Hot paths go
    through [Real] deliberately: a trace read must not become a
@@ -100,6 +110,10 @@ let[@inline] write t code arg =
   buf.(base + 1) <- code;
   buf.(base + 2) <- arg;
   buf.(base + 3) <- d
+[@@nbhash.plain_ok
+  "flight-recorder hot path: plain stores into the per-lane ring are the \
+   documented performance tradeoff (DESIGN.md 13); the exporter tolerates \
+   torn records"]
 
 (* The three emitters the instrumentation sites use, via [Probe] /
    [Global]. Disabled path: one load, one branch, no allocation. *)

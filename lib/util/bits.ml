@@ -28,6 +28,9 @@ let byte_rev =
     t.(i) <- !r
   done;
   t
+[@@nbhash.plain_ok
+  "lookup table filled at module initialization, before any other domain \
+   exists; read-only afterwards"]
 
 let rev32 x =
   let rev8 y = byte_rev.(y land 0xff) in

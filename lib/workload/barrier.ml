@@ -1,3 +1,6 @@
+(* Sense-reversing barrier for workload start/stop coordination. *)
+module Atomic = Nbhash_util.Nb_atomic
+
 type t = { n : int; arrived : int Atomic.t; sense : bool Atomic.t }
 
 let create n =
@@ -9,6 +12,9 @@ let wait t =
   if Atomic.fetch_and_add t.arrived 1 = t.n - 1 then begin
     Atomic.set t.arrived 0;
     Atomic.set t.sense my_sense
+    [@nbhash.cas_ok
+      "only the last arriver (the unique winner of fetch_and_add) writes the \
+       flipped sense; everyone else spins on it"]
   end
   else
     while Atomic.get t.sense <> my_sense do

@@ -1,3 +1,5 @@
+module Atomic = Nbhash_util.Nb_atomic
+
 type result = {
   table : string;
   threads : int;
@@ -58,7 +60,10 @@ let run table ~threads ~spec ~duration ?(seed = 42) () =
   Barrier.wait barrier;
   let t0 = now () in
   Unix.sleepf duration;
-  Atomic.set stop true;
+  Atomic.set stop true
+  [@nbhash.cas_ok
+    "one-way false -> true stop latch, written only by the coordinator \
+     that created it"];
   List.iter Domain.join domains;
   let t1 = now () in
   let total_ops = Array.fold_left ( + ) 0 counts in

@@ -1,0 +1,7 @@
+(* Seeded violation: a module alias that resolves to Stdlib.Atomic.
+   The regex lint cannot see through [A.]; the typed analyzer must
+   flag both the alias and every use. *)
+module A = Stdlib.Atomic
+
+let counter = A.make 0
+let read () = A.get counter

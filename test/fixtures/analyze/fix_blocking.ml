@@ -1,0 +1,13 @@
+(* Seeded violations: a blocking primitive (Mutex), a bare Obj.magic,
+   and a reasonless allowlist attribute (attr-reason). *)
+let m = Mutex.create ()
+
+let locked_section f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let coerce (x : int) : bool = Obj.magic x
+
+(* The attribute grants the allow but is itself flagged: the reason
+   string is the audit trail. *)
+let coerce_attributed (x : int) : bool = (Obj.magic x [@nbhash.magic_ok])

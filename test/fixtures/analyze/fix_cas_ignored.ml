@@ -1,0 +1,7 @@
+(* Seeded violation: a compare_and_set whose result is discarded with
+   no retry branch and no [@nbhash.cas_ok]. *)
+module Atomic = Nbhash_util.Nb_atomic
+
+let r = Atomic.make 0
+let publish () = ignore (Atomic.compare_and_set r 0 1)
+let publish2 () = (ignore (Atomic.compare_and_set r 1 2) : unit)

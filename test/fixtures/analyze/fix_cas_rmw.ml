@@ -1,0 +1,7 @@
+(* Seeded violation: an Atomic.get -> Atomic.set read-modify-write on
+   the same location inside one top-level binding (ABA-prone). Uses the
+   shim, so only the cas-rmw pass fires. *)
+module Atomic = Nbhash_util.Nb_atomic
+
+let r = Atomic.make 0
+let bump () = Atomic.set r (Atomic.get r + 1)

@@ -1,0 +1,17 @@
+(* Positive control: shim-pointed atomics, a CAS retry loop, and a
+   reasoned allowlist attribute. The analyzer must report nothing. *)
+module Atomic = Nbhash_util.Nb_atomic
+
+let counter = Atomic.make 0
+
+let rec add_loop delta =
+  let cur = Atomic.get counter in
+  if not (Atomic.compare_and_set counter cur (cur + delta)) then
+    add_loop delta
+
+type stats = {
+  mutable local_hits : int
+      [@nbhash.plain_ok "per-domain scratch record, never published"];
+}
+
+let fresh_stats () = { local_hits = 0 }

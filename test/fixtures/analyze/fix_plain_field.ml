@@ -1,0 +1,7 @@
+(* Seeded violation: a plain mutable field on a type reachable from a
+   module-level binding (the escape heuristic's "process-global state"
+   seed) without [@nbhash.plain_ok]. *)
+type t = { mutable count : int }
+
+let global = { count = 0 }
+let touch () = global.count <- global.count + 1

@@ -68,6 +68,32 @@ let test_each_rule_fires () =
   Alcotest.(check bool) "MutexLike is fine" false
     (flag "let m = MutexLike.create ()\n")
 
+(* Evasion fixtures for the alias blind spot: re-exposing Stdlib under
+   a new name (or opening it) must be flagged even when the file
+   carries the shim alias and never spells "Stdlib.Atomic". *)
+let test_alias_evasions_flagged () =
+  let flagged src =
+    List.length (Lint_rules.check_source ~file:"evade.ml" src) > 0
+  in
+  Alcotest.(check bool) "module S = Stdlib evasion" true
+    (flagged
+       "module Atomic = Nbhash_util.Nb_atomic\n\
+        module S = Stdlib\n\
+        let r = S.Atomic.make 0\n\
+        let v = S.Atomic.get r\n");
+  Alcotest.(check bool) "open Stdlib evasion" true
+    (flagged
+       "module Atomic = Nbhash_util.Nb_atomic\n\
+        open Stdlib\n\
+        let m = max_int\n");
+  Alcotest.(check bool) "include Stdlib evasion" true
+    (flagged "include Stdlib\n");
+  (* dotted Stdlib paths stay legal *)
+  Alcotest.(check bool) "Stdlib.max_int is fine" false
+    (flagged "let m = Stdlib.max_int\n");
+  Alcotest.(check bool) "Stdlib.ref is fine" false
+    (flagged "let r = Stdlib.ref 0\n")
+
 let suite =
   [
     ( "lint",
@@ -79,5 +105,7 @@ let suite =
         Alcotest.test_case "comments and strings ignored" `Quick
           test_comments_and_strings_ignored;
         Alcotest.test_case "each rule fires" `Quick test_each_rule_fires;
+        Alcotest.test_case "alias evasions flagged" `Quick
+          test_alias_evasions_flagged;
       ] );
   ]

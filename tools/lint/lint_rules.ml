@@ -11,11 +11,19 @@
    4. a file that uses [Atomic.] must re-point it at the shim with
       [module Atomic = Nbhash_util.Nb_atomic].
 
+   5. no *bare* [Stdlib] (as in [open Stdlib], [module S = Stdlib],
+      [include Stdlib]) — re-exposing the stdlib namespace smuggles
+      [Atomic] / [Mutex] back in under spellings this textual lint
+      cannot see. Dotted uses ([Stdlib.max_int]) stay legal.
+
    Matching is done on source text with comments and string literals
    blanked out, so prose mentioning "Mutex" stays legal. The checker
    is deliberately a few dozen lines of string scanning, not a
    compiler plugin: it runs in milliseconds under [dune build @lint]
-   and its failure messages point at exact lines. *)
+   and its failure messages point at exact lines. It is a fast
+   pre-pass: the authoritative, name-resolved gate is the typed
+   analyzer (tools/analyze, [dune build @analyze]), which sees through
+   any aliasing this scanner cannot. *)
 
 type violation = { file : string; line : int; rule : string }
 
@@ -98,6 +106,24 @@ let mentions line needle =
   in
   go 0
 
+(* A standalone [Stdlib] token *not* followed by '.': the head of an
+   [open] / alias / [include] that re-exposes banned modules under new
+   names. Dotted paths ([Stdlib.max_int]) are fine — [Stdlib.Atomic]
+   has its own rule. *)
+let mentions_bare_stdlib line =
+  let needle = "Stdlib" in
+  let n = String.length line and m = String.length needle in
+  let rec go i =
+    if i + m > n then false
+    else if
+      String.sub line i m = needle
+      && (i = 0 || ((not (is_ident_char line.[i - 1])) && line.[i - 1] <> '.'))
+      && (i + m >= n || ((not (is_ident_char line.[i + m])) && line.[i + m] <> '.'))
+    then true
+    else go (i + 1)
+  in
+  go 0
+
 let shim_alias = "module Atomic = Nbhash_util.Nb_atomic"
 
 let banned =
@@ -140,6 +166,18 @@ let check_source ~file src =
           if mentions l needle then
             violations := { file; line; rule } :: !violations)
         banned;
+      if mentions_bare_stdlib l then
+        violations :=
+          {
+            file;
+            line;
+            rule =
+              "bare Stdlib (open/alias/include) can re-expose Atomic and \
+               Mutex under spellings the textual lint cannot see — use \
+               dotted Stdlib paths (the typed analyzer, dune build \
+               @analyze, resolves the rest)";
+          }
+          :: !violations;
       if mentions l "Atomic" then
         (* ignore the alias declaration itself *)
         if not (mentions l "Nb_atomic") then uses_atomic := true)
