@@ -801,13 +801,15 @@ let load_cmd =
 
 let drain_cmd =
   let drain host port =
+    Nbhash_telemetry.Metrics_server.ignore_sigpipe ();
     match
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () ->
           Unix.connect fd
-            (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+            (Unix.ADDR_INET
+               (Nbhash_telemetry.Metrics_server.resolve_inet host, port));
           Sproto.write_request fd Drain;
           Sproto.read_response fd)
     with

@@ -60,12 +60,22 @@ type tally = {
   mutable not_found : int;
   mutable errors : int;
   mutable drops : int;
+  mutable aborted : bool;
   mutable sum_ns : float;
   mutable max_ns : int;
 }
 
 let new_tally () =
-  { sent = 0; ok = 0; not_found = 0; errors = 0; drops = 0; sum_ns = 0.; max_ns = 0 }
+  {
+    sent = 0;
+    ok = 0;
+    not_found = 0;
+    errors = 0;
+    drops = 0;
+    aborted = false;
+    sum_ns = 0.;
+    max_ns = 0;
+  }
 
 type report = {
   impl : string;  (** from the server's STAT reply, e.g. server/lockfreex2 *)
@@ -76,6 +86,10 @@ type report = {
   not_found : int;
   errors : int;
   drops : int;
+  aborted : int;
+      (** connections that died mid-run and could not reconnect; when
+          nonzero the run offered less than the configured load and
+          its rate/percentiles are not comparable to a clean run *)
   achieved_rate : float;  (** completed requests per second *)
   p50_ns : float;
   p99_ns : float;
@@ -85,7 +99,7 @@ type report = {
 }
 
 let connect ~host ~port =
-  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let addr = Unix.ADDR_INET (Tm.Metrics_server.resolve_inet host, port) in
   let rec go attempts =
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     match Unix.connect fd addr with
@@ -129,6 +143,10 @@ let stat_impl ~host ~port =
 let run ?(config = default_config) () =
   if config.conns < 1 then invalid_arg "Loadgen.run: conns < 1";
   if config.rate < 0. then invalid_arg "Loadgen.run: rate < 0";
+  (* A server that drops a connection mid-write must not SIGPIPE the
+     whole load generator; with the signal ignored it surfaces as
+     EPIPE in the worker's reconnect path. *)
+  Tm.Metrics_server.ignore_sigpipe ();
   let impl = stat_impl ~host:config.host ~port:config.port in
   let hist = Tm.Histogram.make () in
   let value = String.make config.value_bytes 'v' in
@@ -140,7 +158,7 @@ let run ?(config = default_config) () =
   let deadline_of t0 = t0 + int_of_float (config.duration_s *. 1e9) in
   let worker d =
     let tally = new_tally () in
-    let fd = connect ~host:config.host ~port:config.port in
+    let fd = ref (connect ~host:config.host ~port:config.port) in
     let ks =
       Keystream.create ~dist:config.dist ~key_range:config.key_range
         ~seed:(config.seed + (77 * d))
@@ -157,40 +175,57 @@ let run ?(config = default_config) () =
     let t0 = Nbhash_util.Clock.now_ns () in
     let deadline = deadline_of t0 in
     let due = ref t0 in
-    (try
-       let continue = ref true in
-       while !continue do
-         due := !due + interval_ns;
-         let now = Nbhash_util.Clock.now_ns () in
-         if (if interval_ns = 0 then now else max now !due) >= deadline then
-           continue := false
-         else if interval_ns > 0 && now - !due > config.max_lag_ns then begin
-           (* Too far behind schedule: drop the overdue request and
-              re-anchor so one long stall does not turn the rest of
-              the run into a backlog-burndown measurement. *)
-           tally.drops <- tally.drops + 1;
-           due := now
-         end
-         else begin
-           if interval_ns > 0 && now < !due then
-             Unix.sleepf (float_of_int (!due - now) *. 1e-9);
-           let start = if interval_ns = 0 then Nbhash_util.Clock.now_ns () else !due in
-           Protocol.write_request fd (request ());
-           (match Protocol.read_response fd with
-           | Result.Ok Ok | Result.Ok (Value _) -> tally.ok <- tally.ok + 1
-           | Result.Ok Not_found -> tally.not_found <- tally.not_found + 1
-           | Result.Ok (Err _) | Result.Error _ ->
-             tally.errors <- tally.errors + 1);
-           tally.sent <- tally.sent + 1;
-           let lat = Nbhash_util.Clock.now_ns () - start in
-           Tm.Histogram.observe hist lat;
-           tally.sum_ns <- tally.sum_ns +. float_of_int lat;
-           if lat > tally.max_ns then tally.max_ns <- lat
-         end
-       done
-     with Unix.Unix_error _ | Sys_error _ | Failure _ ->
-       tally.errors <- tally.errors + 1);
-    (try Unix.close fd with Unix.Unix_error _ -> ());
+    let continue = ref true in
+    while !continue do
+      due := !due + interval_ns;
+      let now = Nbhash_util.Clock.now_ns () in
+      if (if interval_ns = 0 then now else max now !due) >= deadline then
+        continue := false
+      else if interval_ns > 0 && now - !due > config.max_lag_ns then begin
+        (* Too far behind schedule: drop the overdue request and
+           re-anchor so one long stall does not turn the rest of
+           the run into a backlog-burndown measurement. *)
+        tally.drops <- tally.drops + 1;
+        due := now
+      end
+      else begin
+        if interval_ns > 0 && now < !due then
+          Unix.sleepf (float_of_int (!due - now) *. 1e-9);
+        let start = if interval_ns = 0 then Nbhash_util.Clock.now_ns () else !due in
+        match
+          Protocol.write_request !fd (request ());
+          Protocol.read_response !fd
+        with
+        | resp ->
+          (match resp with
+          | Result.Ok Ok | Result.Ok (Value _) -> tally.ok <- tally.ok + 1
+          | Result.Ok Not_found -> tally.not_found <- tally.not_found + 1
+          | Result.Ok (Err _) | Result.Error _ ->
+            tally.errors <- tally.errors + 1);
+          tally.sent <- tally.sent + 1;
+          let lat = Nbhash_util.Clock.now_ns () - start in
+          Tm.Histogram.observe hist lat;
+          tally.sum_ns <- tally.sum_ns +. float_of_int lat;
+          if lat > tally.max_ns then tally.max_ns <- lat
+        | exception (Unix.Unix_error _ | Sys_error _) -> (
+          (* The connection died mid-request (reset, server drain,
+             ...): count the casualty, then reconnect and resume the
+             schedule so the remaining duration still offers the
+             configured load. If the server is really gone the
+             reconnect fails and the connection is recorded as
+             aborted — never a silently thinner workload. *)
+          tally.errors <- tally.errors + 1;
+          (try Unix.close !fd with Unix.Unix_error _ -> ());
+          match connect ~host:config.host ~port:config.port with
+          | nfd ->
+            fd := nfd;
+            due := Nbhash_util.Clock.now_ns ()
+          | exception Failure _ ->
+            tally.aborted <- true;
+            continue := false)
+      end
+    done;
+    (try Unix.close !fd with Unix.Unix_error _ -> ());
     (tally, Nbhash_util.Clock.now_ns () - t0)
   in
   let domains =
@@ -198,6 +233,7 @@ let run ?(config = default_config) () =
   in
   let parts = List.map Domain.join domains in
   let total = new_tally () in
+  let aborted = ref 0 in
   let elapsed_ns = ref 0 in
   List.iter
     (fun ((t : tally), e) ->
@@ -206,6 +242,7 @@ let run ?(config = default_config) () =
       total.not_found <- total.not_found + t.not_found;
       total.errors <- total.errors + t.errors;
       total.drops <- total.drops + t.drops;
+      if t.aborted then incr aborted;
       total.sum_ns <- total.sum_ns +. t.sum_ns;
       if t.max_ns > total.max_ns then total.max_ns <- t.max_ns;
       if e > !elapsed_ns then elapsed_ns := e)
@@ -225,6 +262,7 @@ let run ?(config = default_config) () =
     not_found = total.not_found;
     errors = total.errors;
     drops = total.drops;
+    aborted = !aborted;
     achieved_rate =
       (if elapsed_s > 0. then float_of_int total.sent /. elapsed_s else 0.);
     p50_ns = pct 50.;
@@ -263,6 +301,7 @@ let to_bench_json (r : report) =
         Printf.sprintf "\"not_found\":%d" r.not_found;
         Printf.sprintf "\"errors\":%d" r.errors;
         Printf.sprintf "\"drops\":%d" r.drops;
+        Printf.sprintf "\"aborted\":%d" r.aborted;
         Printf.sprintf "\"p50_ns\":%.0f" r.p50_ns;
         Printf.sprintf "\"p99_ns\":%.0f" r.p99_ns;
         Printf.sprintf "\"p999_ns\":%.0f" r.p999_ns;
@@ -285,6 +324,11 @@ let print_human (r : report) =
     "  sent %d in %.2fs (%.0f req/s achieved); ok %d, not_found %d, errors \
      %d, drops %d\n"
     r.sent r.elapsed_s r.achieved_rate r.ok r.not_found r.errors r.drops;
+  if r.aborted > 0 then
+    Printf.printf
+      "  WARNING: %d of %d connections aborted early (died and could not \
+       reconnect); offered load was below the configured rate\n"
+      r.aborted c.conns;
   let us v = v /. 1e3 in
   Printf.printf
     "  latency (open-loop, from due time): p50 %.1fus  p99 %.1fus  p999 \

@@ -114,11 +114,22 @@ let response_of_payload payload =
 
 (* --- framed IO --- *)
 
+(* A signal (drain wake-ups, profilers, job control) delivered during
+   a blocking read/write raises EINTR; the operation is retryable, so
+   retry instead of tearing the connection down. *)
+let rec intr_write fd b off len =
+  try Unix.write fd b off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> intr_write fd b off len
+
+let rec intr_read fd b off len =
+  try Unix.read fd b off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> intr_read fd b off len
+
 let write_all fd b =
   let n = Bytes.length b in
   let sent = ref 0 in
   while !sent < n do
-    sent := !sent + Unix.write fd b !sent (n - !sent)
+    sent := !sent + intr_write fd b !sent (n - !sent)
   done
 
 let write_frame fd payload =
@@ -137,7 +148,7 @@ let read_exact fd b want =
   let got = ref 0 in
   let eof = ref false in
   while (not !eof) && !got < want do
-    let n = Unix.read fd b !got (want - !got) in
+    let n = intr_read fd b !got (want - !got) in
     if n = 0 then eof := true else got := !got + n
   done;
   !got

@@ -52,6 +52,7 @@ let default_config =
 type t = {
   config : config;
   port : int;
+  inet : Unix.inet_addr;  (* config.addr, resolved once at start *)
   backend : Backend.t;
   listen_fd : Unix.file_descr;
   stopping : bool Atomic.t;
@@ -97,9 +98,7 @@ let initiate_stop t =
         let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
         Fun.protect
           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-          (fun () ->
-            Unix.connect fd
-              (Unix.ADDR_INET (Unix.inet_addr_of_string t.config.addr, t.port)))
+          (fun () -> Unix.connect fd (Unix.ADDR_INET (t.inet, t.port)))
       with Unix.Unix_error _ | Sys_error _ -> ()
     done;
     List.iter
@@ -188,6 +187,15 @@ let worker_loop t =
       end
       else begin
         conn_track t fd;
+        (* initiate_stop may have snapshotted [conns] between the
+           check above and conn_track, in which case it never saw this
+           fd: re-check and shut the read side down ourselves
+           (mirroring initiate_stop) so the worker cannot park in
+           read_frame past the stop. Any response already in flight
+           still goes out; the reader just sees EOF next. *)
+        if Atomic.get t.stopping then
+          (try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+           with Unix.Unix_error _ -> ());
         (try serve_connection t h fd
          with Unix.Unix_error _ | Sys_error _ -> ());
         conn_untrack t fd;
@@ -204,6 +212,10 @@ let worker_loop t =
 let start ?(config = default_config) () =
   if config.shards < 1 then invalid_arg "Server.start: shards < 1";
   if config.workers < 1 then invalid_arg "Server.start: workers < 1";
+  (* A client that disconnects while a response is being written must
+     surface as EPIPE in the per-connection handlers, not as a
+     process-killing SIGPIPE. *)
+  Nbhash_telemetry.Metrics_server.ignore_sigpipe ();
   let backend =
     Backend.create ?policy:config.policy ~kind:config.backend
       ~shards:config.shards
@@ -214,10 +226,15 @@ let start ?(config = default_config) () =
     Nbhash_telemetry.Metrics_server.listen_tcp ~backlog:64 ~addr:config.addr
       ~port:config.port ()
   in
+  (* listen_tcp already resolved (or rejected) the same addr, so this
+     cannot fail here; storing the inet keeps initiate_stop's wake
+     fallback from re-resolving — Failure-free — on the stop path. *)
+  let inet = Nbhash_telemetry.Metrics_server.resolve_inet config.addr in
   let t =
     {
       config;
       port;
+      inet;
       backend;
       listen_fd;
       stopping = Atomic.make false;

@@ -35,6 +35,40 @@ let port t = t.port
 
 exception Bind_error of string
 
+(* Writing to a peer that already closed its end raises SIGPIPE, whose
+   default action kills the whole process before any Unix_error
+   handler can run; every server/client entry point that writes to
+   sockets calls this first so broken pipes surface as Unix_error
+   EPIPE instead. No-op on platforms without the signal. *)
+let ignore_sigpipe () =
+  try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* Resolve a host string to an IPv4 address: dotted-quad fast path,
+   getaddrinfo for names like "localhost". Raises [Failure] with a
+   one-line message on an unresolvable host — never a bare Unix_error
+   — so callers can catch it next to their other [Failure] paths. *)
+let resolve_inet host =
+  match Unix.inet_addr_of_string host with
+  | inet -> inet
+  | exception Failure _ -> (
+    let candidates =
+      try
+        Unix.getaddrinfo host ""
+          [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      with Unix.Unix_error _ | Failure _ | Not_found -> []
+    in
+    match
+      List.find_map
+        (fun ai ->
+          match ai.Unix.ai_addr with
+          | Unix.ADDR_INET (inet, _) -> Some inet
+          | Unix.ADDR_UNIX _ -> None)
+        candidates
+    with
+    | Some inet -> inet
+    | None -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
 (* Shared TCP-listener setup (this server and the KV server): create,
    set SO_REUSEADDR before bind so restarts never trip over
    TIME_WAIT, bind (port 0 = "pick a free port"), listen, and return
@@ -43,7 +77,9 @@ exception Bind_error of string
    one-line message so CLI callers can print it and exit nonzero
    instead of dumping a Unix_error backtrace. *)
 let listen_tcp ?(backlog = 16) ~addr ~port () =
-  let inet = Unix.inet_addr_of_string addr in
+  let inet =
+    try resolve_inet addr with Failure msg -> raise (Bind_error msg)
+  in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -193,6 +229,7 @@ let accept_loop ~watchdog ~stopping listen_fd =
   done
 
 let start ?(addr = "127.0.0.1") ?(port = 0) ?watchdog () =
+  ignore_sigpipe ();
   let listen_fd, bound_port = listen_tcp ~addr ~port () in
   let stopping = Atomic.make false in
   let domain =
@@ -215,9 +252,8 @@ let stop t =
      Fun.protect
        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
        (fun () ->
-         Unix.connect fd
-           (Unix.ADDR_INET (Unix.inet_addr_of_string t.addr, t.port)))
-   with Unix.Unix_error _ | Sys_error _ -> ());
+         Unix.connect fd (Unix.ADDR_INET (resolve_inet t.addr, t.port)))
+   with Unix.Unix_error _ | Sys_error _ | Failure _ -> ());
   Domain.join t.domain;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
 
@@ -229,7 +265,7 @@ let http_get ?(host = "127.0.0.1") ~port path =
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
-        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        Unix.connect fd (Unix.ADDR_INET (resolve_inet host, port));
         let req =
           Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
             path host
@@ -252,6 +288,7 @@ let http_get ?(host = "127.0.0.1") ~port path =
         Buffer.contents b)
   with
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | exception Failure msg -> Error msg
   | raw -> (
     (* "HTTP/1.1 <code> ...\r\n...\r\n\r\n<body>" *)
     match String.index_opt raw ' ' with

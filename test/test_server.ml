@@ -184,6 +184,79 @@ let test_drain_refuses_new_connections () =
     Unix.close fd
   | exception Unix.Unix_error _ -> ())
 
+(* --- robustness: SIGPIPE, hostname addresses, idle-client stop --- *)
+
+(* A client that disconnects without reading its responses makes the
+   server write into a reset connection. With SIGPIPE at its default
+   disposition that kills the whole process; Server.start must ignore
+   it so the write surfaces as EPIPE and only that connection dies. *)
+let test_sigpipe_survival () =
+  (* Undo any ignore inherited from earlier tests so this test proves
+     Server.start installs it. *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_default)
+   with Invalid_argument _ | Sys_error _ -> ());
+  let server =
+    Server.start ~config:{ Server.default_config with workers = 2 } ()
+  in
+  let prev = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Alcotest.(check bool) "start ignores SIGPIPE" true
+    (prev = Sys.Signal_ignore);
+  let port = Server.port server in
+  for _ = 1 to 5 do
+    let fd = client port in
+    for i = 1 to 64 do
+      P.write_request fd (P.Get i)
+    done;
+    (* Close with all responses unread: the kernel answers further
+       server writes with RST, so they fail instead of blocking. *)
+    Unix.close fd
+  done;
+  Unix.sleepf 0.05;
+  (* The process survived and still serves. *)
+  let fd = client port in
+  (match rpc fd P.Ping with
+  | P.Ok -> ()
+  | _ -> Alcotest.fail "server did not answer after aborted clients");
+  Unix.close fd;
+  Server.stop server
+
+(* addr may be a hostname, not just a dotted quad: binding resolves it
+   via getaddrinfo, and stop's accept-wake fallback must use the
+   resolved address instead of raising Failure mid-drain. *)
+let test_hostname_addr () =
+  match Nbhash_telemetry.Metrics_server.resolve_inet "localhost" with
+  | exception Failure _ -> () (* no name resolution here; nothing to test *)
+  | _inet ->
+    let server =
+      Server.start
+        ~config:
+          { Server.default_config with addr = "localhost"; workers = 1 }
+        ()
+    in
+    let fd = client (Server.port server) in
+    (match rpc fd P.Ping with
+    | P.Ok -> ()
+    | _ -> Alcotest.fail "ping on hostname-bound server");
+    Unix.close fd;
+    Server.stop server
+
+(* stop must bring down a worker parked in read_frame on an idle
+   connection (shutdown-for-read wake), not wait for the client. *)
+let test_stop_unblocks_idle_connection () =
+  let server =
+    Server.start ~config:{ Server.default_config with workers = 1 } ()
+  in
+  let fd = client (Server.port server) in
+  (match rpc fd P.Ping with
+  | P.Ok -> ()
+  | _ -> Alcotest.fail "ping");
+  (* The only worker is now parked reading this idle connection. *)
+  Server.stop server;
+  (match P.read_response fd with
+  | Result.Error _ -> ()
+  | Result.Ok _ -> Alcotest.fail "served a response after stop");
+  Unix.close fd
+
 (* --- load generator --- *)
 
 let test_loadgen () =
@@ -208,6 +281,7 @@ let test_loadgen () =
   in
   Alcotest.(check bool) "sent some requests" true (report.Loadgen.sent > 100);
   Alcotest.(check int) "no errors" 0 report.Loadgen.errors;
+  Alcotest.(check int) "no aborted connections" 0 report.Loadgen.aborted;
   Alcotest.(check bool) "percentiles ordered" true
     (report.Loadgen.p50_ns <= report.Loadgen.p99_ns
     && report.Loadgen.p99_ns <= report.Loadgen.p999_ns);
@@ -239,7 +313,7 @@ let test_loadgen () =
         with
         | Some _ -> ()
         | None -> Alcotest.fail ("params lack " ^ name))
-      [ "workers"; "key_range"; "lookup_ratio"; "duration"; "p99_ns" ]);
+      [ "workers"; "key_range"; "lookup_ratio"; "duration"; "p99_ns"; "aborted" ]);
   Server.stop server;
   Backend.check_invariants (Server.backend server)
 
@@ -256,6 +330,12 @@ let suite =
           (test_drain ~kind:Backend.Waitfree);
         Alcotest.test_case "drained server refuses new connections" `Quick
           test_drain_refuses_new_connections;
+        Alcotest.test_case "SIGPIPE from aborted clients is survived" `Quick
+          test_sigpipe_survival;
+        Alcotest.test_case "hostname addr binds and drains" `Quick
+          test_hostname_addr;
+        Alcotest.test_case "stop unblocks an idle connection" `Quick
+          test_stop_unblocks_idle_connection;
         Alcotest.test_case "open-loop loadgen and bench-v2 report" `Quick
           test_loadgen;
       ] );
