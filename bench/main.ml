@@ -181,7 +181,7 @@ let f7 () =
                          (throughput_of alg ~exp:"f7" ~key_range
                             ~lookup_ratio ~threads:t ~duration ~trials))
                      threads)
-              Factory.all_eight
+              Factory.all_nine
           in
           Report.print_table ~header ~rows;
           flush_telemetry ())
@@ -207,7 +207,7 @@ let x86 () =
   let results =
     List.map
       (fun alg -> (fst alg, List.map (cell alg) ratios))
-      Factory.all_eight
+      Factory.all_nine
   in
   let header =
     "algorithm"
@@ -642,6 +642,7 @@ let fset_bench () =
   run_bechamel ~name:"fset"
     (make_lf (module Nbhash_fset.Lf_array_fset) "lf-array"
     @ make_lf (module Nbhash_fset.Lf_list_fset) "lf-list"
+    @ make_lf (module Nbhash_fset.Flat_fset) "lf-flat"
     @ make_wf (module Nbhash_fset.Wf_array_fset) "wf-array"
     @ make_wf (module Nbhash_fset.Wf_list_fset) "wf-list")
 
@@ -717,8 +718,9 @@ let churn_bench () =
       Policy.migration = { Policy.eager = true; chunk = 64; max_helpers = 4 };
     }
   in
-  let arm (label, policy) =
-    let maker = Factory.by_name "LFArrayOpt" in
+  let arm (impl, label, policy) =
+    let tag = impl ^ "/" ^ label in
+    let maker = Factory.by_name impl in
     let table = maker ~policy ~max_threads:(workers + 2) () in
     let seed = table.Factory.new_handle () in
     for k = 0 to key_range - 1 do
@@ -782,8 +784,7 @@ let churn_bench () =
     let snap =
       if !telemetry then Some (Nbhash_telemetry.Global.snapshot ()) else None
     in
-    emit_json ~exp:"churn"
-      ~impl:("LFArrayOpt/" ^ label)
+    emit_json ~exp:"churn" ~impl:tag
       ~params:
         [
           ("workers", string_of_int workers);
@@ -797,12 +798,12 @@ let churn_bench () =
         ]
       ~ops_per_usec:(Float.of_int total /. (duration *. 1e6))
       ~telemetry:snap;
-    note_telemetry ("LFArrayOpt/" ^ label) snap;
+    note_telemetry tag snap;
     table.Factory.close ();
-    ( label,
+    ( tag,
       p99,
       [
-        label;
+        tag;
         Report.ops_per_usec (Float.of_int total /. (duration *. 1e6));
         Printf.sprintf "%.0f" p50;
         Printf.sprintf "%.0f" p99;
@@ -812,11 +813,15 @@ let churn_bench () =
           (stats.Nbhash.Hashset_intf.grows + stats.Nbhash.Hashset_intf.shrinks);
       ] )
   in
+  let impls = [ "LFArrayOpt"; "LFFlat" ] in
   let arms =
-    [
-      ("eager-sweep", eager_policy);
-      ("lazy-only", Policy.lazy_migration base);
-    ]
+    List.concat_map
+      (fun impl ->
+        [
+          (impl, "eager-sweep", eager_policy);
+          (impl, "lazy-only", Policy.lazy_migration base);
+        ])
+      impls
   in
   let results = List.map arm arms in
   Report.print_table
@@ -824,13 +829,19 @@ let churn_bench () =
       [ "migration"; "ops/usec"; "p50"; "p99"; "p99.9"; "max"; "resizes" ]
     ~rows:(List.map (fun (_, _, row) -> row) results);
   flush_telemetry ();
-  (match results with
-  | [ (_, eager_p99, _); (_, lazy_p99, _) ] ->
-    Printf.printf
-      "\nmigration-tail p99: eager %.0f ns vs lazy %.0f ns (%.2fx)\n" eager_p99
-      lazy_p99
-      (lazy_p99 /. Float.max eager_p99 1.)
-  | _ -> ())
+  let p99_of tag =
+    List.find_map (fun (t, p, _) -> if t = tag then Some p else None) results
+  in
+  List.iter
+    (fun impl ->
+      match (p99_of (impl ^ "/eager-sweep"), p99_of (impl ^ "/lazy-only")) with
+      | Some eager_p99, Some lazy_p99 ->
+        Printf.printf
+          "\n%s migration-tail p99: eager %.0f ns vs lazy %.0f ns (%.2fx)\n"
+          impl eager_p99 lazy_p99
+          (lazy_p99 /. Float.max eager_p99 1.)
+      | _ -> ())
+    impls
 
 (* ------------------------------------------------------------------ *)
 

@@ -20,6 +20,11 @@ module LFArrayOpt = Lf_hashset_opt
    membership (see Elems.Sorted_rep). *)
 module LFSorted = Lf_hashset.Make (Nbhash_fset.Lf_sorted_fset)
 module LFList = Lf_hashset.Make (Nbhash_fset.Lf_list_fset)
+
+(* Flat open-addressing buckets: linear probing over a flat slot
+   array with fingerprint tags and tombstones, frozen by CAS-latching
+   a SEAL bit into every slot (DESIGN.md System 17). *)
+module LFFlat = Lf_hashset.Make (Nbhash_fset.Flat_fset)
 module WFArray = Wf_hashset.Make (Nbhash_fset.Wf_array_fset)
 module WFList = Wf_hashset.Make (Nbhash_fset.Wf_list_fset)
 module Adaptive = Adaptive_hashset.Make (Nbhash_fset.Wf_array_fset)

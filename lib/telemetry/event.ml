@@ -105,8 +105,12 @@ type span =
   | Sweep_span
   | Sweep_helpers
   | Server_span  (** server-side request service time (read to reply) *)
+  | Probe_len
+      (** raw-value histogram of linear-probe distances observed by
+          flat (open-addressing) FSet inserts and removes at their
+          linearization slot *)
 
-let span_count = 5
+let span_count = 6
 
 let span_index = function
   | Resize_span -> 0
@@ -114,6 +118,7 @@ let span_index = function
   | Sweep_span -> 2
   | Sweep_helpers -> 3
   | Server_span -> 4
+  | Probe_len -> 5
 
 let span_to_string = function
   | Resize_span -> "resize_ns"
@@ -121,9 +126,13 @@ let span_to_string = function
   | Sweep_span -> "sweep_chunk_ns"
   | Sweep_helpers -> "sweep_helpers"
   | Server_span -> "server_request_ns"
+  | Probe_len -> "probe_len"
 
 let all_spans =
-  [ Resize_span; Slowpath_span; Sweep_span; Sweep_helpers; Server_span ]
+  [
+    Resize_span; Slowpath_span; Sweep_span; Sweep_helpers; Server_span;
+    Probe_len;
+  ]
 
 (* Inverse of [span_index]; total on [0, span_count). *)
 let span_of_index =

@@ -104,6 +104,7 @@ let span_help s =
   | Sweep_span -> "Sweep chunk migration duration, nanoseconds"
   | Sweep_helpers -> "Distinct domains that claimed chunks during one migration"
   | Server_span -> "KV server request service time (read to reply), nanoseconds"
+  | Probe_len -> "Linear-probe distances at flat-FSet insert/remove linearization"
 
 let render_counters b probe =
   List.iter

@@ -142,8 +142,11 @@ let all_eight =
     ("AdaptiveOpt", of_module (module Nbhash.Tables.AdaptiveOpt));
   ]
 
+let all_nine =
+  all_eight @ [ ("LFFlat", of_module (module Nbhash.Tables.LFFlat)) ]
+
 let with_michael =
-  all_eight
+  all_nine
   @ [
       ("LFUlist", of_module (module Nbhash.Tables.LFUlist));
       ("LFSorted", of_module (module Nbhash.Tables.LFSorted));

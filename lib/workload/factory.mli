@@ -53,8 +53,12 @@ val all_eight : (string * maker) list
     SplitOrder, LFArray, LFArrayOpt, LFList, WFArray, WFList,
     Adaptive, AdaptiveOpt. *)
 
+val all_nine : (string * maker) list
+(** {!all_eight} plus LFFlat, the flat open-addressing variant added
+    after the paper's evaluation (DESIGN.md System 17). *)
+
 val with_michael : (string * maker) list
-(** {!all_eight} plus the reference points outside the paper's
+(** {!all_nine} plus the reference points outside the paper's
     evaluation: the fixed-size Michael table and the single-lock
     strawman. *)
 

@@ -70,6 +70,7 @@ let () =
   List.iter expect_pass Scenarios.all;
   expect_fail Scenarios.broken;
   expect_fail Scenarios.broken_sweep;
+  expect_fail Scenarios.broken_flat;
   if !failures > 0 then begin
     Printf.printf "%d scenario(s) failed\n%!" !failures;
     exit 1

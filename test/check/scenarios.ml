@@ -277,15 +277,112 @@ module Sweep_races (H : Nbhash.Hashset_intf.S) = struct
     (threads, verdict ~keys:[ 0; 2; 3 ] t h1 r)
 end
 
+(* Flat-slot races specific to the open-addressing layout: the freeze
+   latch and an insert claim CAS contending for the same physical
+   slot word, removes probing across tombstone runs while the
+   tombstoned key is re-inserted (the claim must NOT reuse the
+   tombstone — that race is exactly why [Flat_fset] claims only Empty
+   words), and two freezers latching the seal sweep concurrently.
+   Every scenario ends by recording a final freeze snapshot, so a
+   lost or duplicated update shows up in the model even without a
+   membership op. *)
+module Flat_slot_races = struct
+  module F = Nbhash_fset.Flat_fset
+
+  let record_invoke r t kind key =
+    let op_m =
+      match kind with
+      | Fset_intf.Ins -> Lin.Fset_model.Ins key
+      | Fset_intf.Rem -> Lin.Fset_model.Rem key
+    in
+    ignore
+      (Record.record r op_m (fun () ->
+           let op = F.make_op kind key in
+           if F.invoke t op then Lin.Fset_model.Applied (F.get_response op)
+           else Lin.Fset_model.Refused))
+
+  let record_freeze r t =
+    ignore
+      (Record.record r Lin.Fset_model.Freeze (fun () ->
+           Lin.Fset_model.Snapshot
+             (List.sort compare (Array.to_list (F.freeze t)))))
+
+  let final_verdict r t () =
+    record_freeze r t;
+    fset_verdict r ()
+
+  (* Smallest key >= 0 (distinct from [k]) probing from the same home
+     slot of a capacity-8 generation; white-box via the module's own
+     hash. *)
+  let home k = F.mix k land 7
+
+  let collide k =
+    let rec go c = if c <> k && home c = home k then c else go (c + 1) in
+    go 0
+
+  (* The freeze's seal CAS and the insert's claim CAS target the same
+     Empty home slot: exactly one wins, and the model decides which
+     response set is coherent. *)
+  let freeze_vs_insert_same_slot () =
+    let t = F.create [||] in
+    let r = Record.make () in
+    let threads =
+      [|
+        (fun () -> record_freeze r t);
+        (fun () -> record_invoke r t Fset_intf.Ins 1);
+      |]
+    in
+    (threads, final_verdict r t)
+
+  (* Setup leaves a tombstone at [a]'s home with [b] displaced past
+     it. One thread removes [b] (its probe crosses the tombstone run),
+     the other re-inserts [a] (which must claim a fresh Empty word,
+     never the tombstone). *)
+  let remove_vs_probe_over_tombstones () =
+    let a = 1 in
+    let b = collide a in
+    let t = F.create [||] in
+    let r = Record.make () in
+    record_invoke r t Fset_intf.Ins a;
+    record_invoke r t Fset_intf.Ins b;
+    record_invoke r t Fset_intf.Rem a;
+    let threads =
+      [|
+        (fun () -> record_invoke r t Fset_intf.Rem b);
+        (fun () -> record_invoke r t Fset_intf.Ins a);
+      |]
+    in
+    (threads, final_verdict r t)
+
+  (* Two freezers race the seal sweep while an insert is in flight:
+     both snapshots must agree on the one frozen state, and the insert
+     is either in both or refused/absent from both. *)
+  let concurrent_freeze_latching () =
+    let t = F.create [||] in
+    let r = Record.make () in
+    record_invoke r t Fset_intf.Ins 3;
+    let threads =
+      [|
+        (fun () -> record_freeze r t);
+        (fun () -> record_freeze r t);
+        (fun () -> record_invoke r t Fset_intf.Ins 1);
+      |]
+    in
+    (threads, fset_verdict r)
+end
+
 module Lf_array = Freeze_vs_update (Nbhash_fset.Lf_array_fset)
 module Lf_list = Freeze_vs_update (Nbhash_fset.Lf_list_fset)
 module Ulist = Freeze_vs_update (Nbhash_fset.Ulist_fset)
+module Flat = Freeze_vs_update (Nbhash_fset.Flat_fset)
 module Wf_array = Wf_freeze_vs_update (Nbhash_fset.Wf_array_fset)
 module LFArray = Table_races (Nbhash.Tables.LFArray)
 module WFArray = Table_races (Nbhash.Tables.WFArray)
+module LFFlat = Table_races (Nbhash.Tables.LFFlat)
 module LFArray_sweep = Sweep_races (Nbhash.Tables.LFArray)
 module WFArray_sweep = Sweep_races (Nbhash.Tables.WFArray)
 module Broken = Freeze_vs_update (Broken_fset)
+module Broken_flat = Freeze_vs_update (Broken_flat_fset)
 
 (* Every shipped implementation must pass bounded exploration of
    these. *)
@@ -294,12 +391,20 @@ let all : (string * Explore.scenario) list =
     ("lf-array freeze vs update", Lf_array.scenario);
     ("lf-list freeze vs update", Lf_list.scenario);
     ("ulist freeze vs update", Ulist.scenario);
+    ("flat freeze vs update", Flat.scenario);
+    ( "flat freeze vs insert same slot",
+      Flat_slot_races.freeze_vs_insert_same_slot );
+    ( "flat remove vs probe over tombstones",
+      Flat_slot_races.remove_vs_probe_over_tombstones );
+    ("flat concurrent freeze latching", Flat_slot_races.concurrent_freeze_latching);
     ("wf-array freeze vs update", Wf_array.freeze_vs_update);
     ("wf-array shared-op helping", Wf_array.shared_op_help);
     ("wf-array announce race", Wf_array.announce_race);
     ("lfarray grow during insert", LFArray.grow_during_insert);
     ("lfarray shrink during contains", LFArray.shrink_during_contains);
     ("lfarray grow vs grow", LFArray.grow_vs_grow);
+    ("lfflat grow during insert", LFFlat.grow_during_insert);
+    ("lfflat shrink during contains", LFFlat.shrink_during_contains);
     ("wfarray grow during insert", WFArray.grow_during_insert);
     ("lfarray sweep helper vs lazy init", LFArray_sweep.helper_vs_lazy);
     ("lfarray sweep vs grow-shrink", LFArray_sweep.sweep_vs_grow_shrink);
@@ -311,6 +416,13 @@ let all : (string * Explore.scenario) list =
    path) must fail it, with a printed counterexample schedule. *)
 let broken : string * Explore.scenario =
   ("broken-fset freeze vs update (expected violation)", Broken.scenario)
+
+(* The broken flat claim: insert CASes a key into any empty-keyed
+   word, sealed or not, skipping the FROZEN re-check the Empty-only
+   claim provides. A freeze completing before the claim yields a
+   snapshot that excludes the applied insert — non-linearizable. *)
+let broken_flat : string * Explore.scenario =
+  ("broken-flat sealed-slot claim (expected violation)", Broken_flat.scenario)
 
 (* The broken chunk claimer: a stale-head insert races the no-freeze
    sweep. The update's success must imply membership; the missing

@@ -206,7 +206,11 @@ let suite =
           (churn (module Nbhash.Tables.WFArray));
         Alcotest.test_case "sweep churn AdaptiveOpt" `Quick
           (churn (module Nbhash.Tables.AdaptiveOpt));
+        Alcotest.test_case "sweep churn LFFlat" `Quick
+          (churn (module Nbhash.Tables.LFFlat));
         Alcotest.test_case "lazy churn LFArrayOpt" `Quick
           (churn_lazy (module Nbhash.Tables.LFArrayOpt));
+        Alcotest.test_case "lazy churn LFFlat" `Quick
+          (churn_lazy (module Nbhash.Tables.LFFlat));
       ] );
   ]

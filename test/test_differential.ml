@@ -89,7 +89,7 @@ let test_eager_vs_lazy () =
           (name ^ "/eager", eager, eager.Factory.new_handle ());
           (name ^ "/lazy", lazy_, lazy_.Factory.new_handle ());
         ])
-      Factory.all_eight
+      Factory.all_nine
   in
   let rng = Nbhash_util.Xoshiro.create 1717 in
   for step = 1 to 3_000 do

@@ -155,9 +155,11 @@ end
 module LfArrayLedger = Lf_ledger (Lf_array_fset)
 module LfListLedger = Lf_ledger (Lf_list_fset)
 module UlistLedger = Lf_ledger (Ulist_fset)
+module FlatLedger = Lf_ledger (Flat_fset)
 module LfArrayFreeze = Lf_freeze_race (Lf_array_fset)
 module LfListFreeze = Lf_freeze_race (Lf_list_fset)
 module UlistFreeze = Lf_freeze_race (Ulist_fset)
+module FlatFreeze = Lf_freeze_race (Flat_fset)
 module WfArrayShared = Wf_shared_op (Wf_array_fset)
 module WfListShared = Wf_shared_op (Wf_list_fset)
 module WfArrayLedger = Wf_ledger (Wf_array_fset)
@@ -170,9 +172,11 @@ let suite =
         Alcotest.test_case "lf-array ledger" `Slow LfArrayLedger.run;
         Alcotest.test_case "lf-list ledger" `Slow LfListLedger.run;
         Alcotest.test_case "ulist ledger" `Slow UlistLedger.run;
+        Alcotest.test_case "flat ledger" `Slow FlatLedger.run;
         Alcotest.test_case "lf-array freeze race" `Slow LfArrayFreeze.run;
         Alcotest.test_case "lf-list freeze race" `Slow LfListFreeze.run;
         Alcotest.test_case "ulist freeze race" `Slow UlistFreeze.run;
+        Alcotest.test_case "flat freeze race" `Slow FlatFreeze.run;
         Alcotest.test_case "wf-array shared op helped once" `Slow
           WfArrayShared.run;
         Alcotest.test_case "wf-list shared op helped once" `Slow

@@ -7,8 +7,135 @@ module LfArray = Fset_suite.Make (Nbhash_fset.Lf_array_fset)
 module LfList = Fset_suite.Make (Nbhash_fset.Lf_list_fset)
 module Ulist = Fset_suite.Make (Nbhash_fset.Ulist_fset)
 module LfSorted = Fset_suite.Make (Nbhash_fset.Lf_sorted_fset)
+module Flat = Fset_suite.Make (Nbhash_fset.Flat_fset)
 module WfArray = Wf_fset_suite.Make (Nbhash_fset.Wf_array_fset)
 module WfList = Wf_fset_suite.Make (Nbhash_fset.Wf_list_fset)
+
+(* Flat_fset-specific coverage beyond the shared conformance suite:
+   the open-addressing internals (tombstones, compaction migrations,
+   fingerprint prefilter, probe census) have behaviours the
+   pointer-based sets cannot exhibit. *)
+module Flat_extra = struct
+  module F = Nbhash_fset.Flat_fset
+
+  let apply kind t k =
+    let op = F.make_op kind k in
+    assert (F.invoke t op);
+    F.get_response op
+
+  let ins = apply Nbhash_fset.Fset_intf.Ins
+  let rem = apply Nbhash_fset.Fset_intf.Rem
+
+  (* Random insert/remove/contains traces over a small key universe:
+     removes leave tombstones, re-inserts of the same keys probe over
+     them, and insert pressure triggers compaction migrations that
+     reclaim them. The model (Hashtbl) is consulted after EVERY
+     operation, so a non-linearizable interleaving of tombstone state
+     and membership would be caught at the exact step. *)
+  let op_gen =
+    QCheck2.Gen.(pair (int_bound 2) (int_bound 23) |> list_size (return 400))
+
+  let prop_tombstone_churn =
+    QCheck2.Test.make
+      ~name:"flat: tombstone churn matches a model set at every step"
+      ~count:100 op_gen
+      (fun ops ->
+        let t = F.create [||] in
+        let model = Hashtbl.create 32 in
+        List.for_all
+          (fun (what, k) ->
+            match what with
+            | 0 ->
+                let fresh = ins t k in
+                let expected = not (Hashtbl.mem model k) in
+                Hashtbl.replace model k ();
+                fresh = expected
+            | 1 ->
+                let hit = rem t k in
+                let expected = Hashtbl.mem model k in
+                Hashtbl.remove model k;
+                hit = expected
+            | _ -> F.has_member t k = Hashtbl.mem model k)
+          ops
+        && F.size t = Hashtbl.length model)
+
+  (* Insert/remove cycles accumulate one tombstone per cycle inside a
+     generation; without the compaction migration the array would
+     wedge ("no claimable slot") or grow without bound. The capacity
+     staying small across thousands of cycles is the reclamation
+     evidence. *)
+  let test_tombstone_reclamation () =
+    let t = F.create [||] in
+    for round = 1 to 2000 do
+      let k = round land 7 in
+      ignore (ins t k);
+      ignore (rem t k)
+    done;
+    Alcotest.(check int) "all removed" 0 (F.size t);
+    Alcotest.(check bool) "capacity stays bounded by compaction" true
+      (F.capacity t <= 32)
+
+  let test_probe_census () =
+    let t = F.create [||] in
+    for k = 0 to 40 do
+      ignore (ins t k)
+    done;
+    let census = F.probe_census t in
+    let total = Array.fold_left ( + ) 0 census in
+    Alcotest.(check int) "census covers every occupied slot" 41 total;
+    Alcotest.(check bool) "distances bounded by capacity" true
+      (Array.length census <= F.capacity t)
+
+  (* The full 61-bit key range must round-trip the slot-word packing;
+     out-of-range keys must be rejected like the table level does. *)
+  let test_edge_keys () =
+    let big = (1 lsl 61) - 1 in
+    let t = F.create [| big; big - 1; 0 |] in
+    Alcotest.(check bool) "max key" true (F.has_member t big);
+    ignore (rem t (big - 1));
+    Alcotest.(check bool) "removed big key" false (F.has_member t (big - 1));
+    ignore (ins t (big - 1));
+    Alcotest.(check bool) "reinserted big key" true (F.has_member t (big - 1));
+    Alcotest.(check bool) "freeze keeps big keys" true
+      (Array.exists (fun k -> k = big) (F.freeze t));
+    Alcotest.check_raises "negative key rejected"
+      (Invalid_argument "Flat_fset: key out of [0, 2^61)") (fun () ->
+        ignore (F.create [| -1 |]));
+    Alcotest.check_raises "oversized key rejected"
+      (Invalid_argument "Flat_fset: key out of [0, 2^61)") (fun () ->
+        ignore (F.make_op Nbhash_fset.Fset_intf.Ins (1 lsl 61)))
+
+  (* Freezing must also latch a set whose generation is mid-pressure:
+     fill close to the migration threshold, freeze, and check the
+     final contents and refusal. *)
+  let test_freeze_under_pressure () =
+    let t = F.create [||] in
+    for k = 0 to 10 do
+      ignore (ins t k)
+    done;
+    for k = 0 to 4 do
+      ignore (rem t (2 * k))
+    done;
+    let final = F.freeze t in
+    let expected = [| 1; 3; 5; 7; 9; 10 |] in
+    Alcotest.(check bool) "frozen contents" true
+      (Nbhash_fset.Intset.equal_as_sets expected final);
+    let op = F.make_op Nbhash_fset.Fset_intf.Rem 1 in
+    Alcotest.(check bool) "frozen refuses" false (F.invoke t op);
+    Alcotest.(check bool) "tombstoned keys stay out" false (F.has_member t 4)
+
+  let suite =
+    ( "fset-flat-extra",
+      [
+        QCheck_alcotest.to_alcotest prop_tombstone_churn;
+        Alcotest.test_case "tombstone reclamation" `Quick
+          test_tombstone_reclamation;
+        Alcotest.test_case "probe census" `Quick test_probe_census;
+        Alcotest.test_case "edge keys" `Quick test_edge_keys;
+        Alcotest.test_case "freeze under pressure" `Quick
+          test_freeze_under_pressure;
+      ] )
+end
 
 let suite =
   [
@@ -17,6 +144,8 @@ let suite =
     LfList.suite;
     Ulist.suite;
     LfSorted.suite;
+    Flat.suite;
+    Flat_extra.suite;
     WfArray.suite;
     WfList.suite;
   ]

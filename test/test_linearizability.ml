@@ -310,8 +310,55 @@ let map_stress make_table name ~storm () =
   done
 
 let implementations =
-  [ "LFArray"; "LFArrayOpt"; "LFList"; "LFUlist"; "LFSorted"; "WFArray"; "Adaptive";
-    "AdaptiveOpt"; "SplitOrder"; "Michael"; "Locked" ]
+  [ "LFArray"; "LFArrayOpt"; "LFList"; "LFUlist"; "LFSorted"; "LFFlat";
+    "WFArray"; "Adaptive"; "AdaptiveOpt"; "SplitOrder"; "Michael"; "Locked" ]
+
+(* Freeze-vs-insert history storm directly over the flat FSet (not
+   through a table): three domains fire insert/remove volleys while a
+   fourth freezes mid-flight, and the recorded history — Applied /
+   Refused responses plus the freeze's Snapshot — must satisfy the
+   freezable-set model. This is the concurrent counterpart of the
+   bounded @check scenarios: real parallelism, random timing, 60
+   rounds. *)
+let flat_fset_freeze_storm () =
+  let module F = Nbhash_fset.Flat_fset in
+  for seed = 0 to 59 do
+    let t = F.create [||] in
+    let r = Record.make () in
+    let worker d () =
+      let rng = Nbhash_util.Xoshiro.create ((seed * 31) + d) in
+      for _ = 1 to 5 do
+        let k = Nbhash_util.Xoshiro.below rng 3 in
+        let kind =
+          if Nbhash_util.Xoshiro.bool rng then Nbhash_fset.Fset_intf.Ins
+          else Nbhash_fset.Fset_intf.Rem
+        in
+        let op_m =
+          match kind with
+          | Nbhash_fset.Fset_intf.Ins -> Lin.Fset_model.Ins k
+          | Nbhash_fset.Fset_intf.Rem -> Lin.Fset_model.Rem k
+        in
+        ignore
+          (Record.record r op_m (fun () ->
+               let op = F.make_op kind k in
+               if F.invoke t op then Lin.Fset_model.Applied (F.get_response op)
+               else Lin.Fset_model.Refused))
+      done
+    in
+    let freezer () =
+      ignore
+        (Record.record r Lin.Fset_model.Freeze (fun () ->
+             Lin.Fset_model.Snapshot
+               (List.sort compare (Array.to_list (F.freeze t)))))
+    in
+    let ds = List.init 3 (fun d -> Domain.spawn (worker d)) in
+    let ds = Domain.spawn freezer :: ds in
+    List.iter Domain.join ds;
+    let evs = Record.events r in
+    if not (Lin.Fset.check evs) then
+      Alcotest.failf "Flat_fset: non-linearizable freeze history:@.%a"
+        Lin.Fset.pp_history evs
+  done
 
 let cases =
   [
@@ -342,6 +389,8 @@ let cases =
         ])
       implementations
   @ [
+      Alcotest.test_case "Flat_fset freeze-vs-insert storm linearizable" `Slow
+        flat_fset_freeze_storm;
       Alcotest.test_case "Hashmap map histories linearizable" `Slow
         (map_stress hashmap_ops "Hashmap" ~storm:false);
       Alcotest.test_case "Hashmap map histories linearizable under storm"
