@@ -489,6 +489,60 @@ let render_top ~clear ~endpoint ~health ~interval ~prev samples =
       (List.rev !order);
     Buffer.add_char b '\n'
   end;
+  (* Per-opcode service-time percentiles from the labeled
+     nbhash_server_op_ns histogram family (present once a KV server
+     has answered attributed traffic). Buckets are cumulative; the
+     percentile is the upper bound of the first bucket at or past the
+     rank, same resolution as the server's own log2 histograms. *)
+  let ops = Hashtbl.create 4 in
+  let op_order = ref [] in
+  List.iter
+    (fun (family, labels, value) ->
+      if family = "nbhash_server_op_ns_bucket" then
+        match (List.assoc_opt "op" labels, List.assoc_opt "le" labels) with
+        | Some op, Some le ->
+          let bs =
+            match Hashtbl.find_opt ops op with
+            | Some l -> l
+            | None ->
+              op_order := op :: !op_order;
+              []
+          in
+          Hashtbl.replace ops op ((le, value) :: bs)
+        | _ -> ())
+    samples;
+  if !op_order <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "%-6s %12s %11s %11s %11s\n" "OP" "COUNT" "P50(us)"
+         "P99(us)" "P999(us)");
+    List.iter
+      (fun op ->
+        let buckets =
+          Hashtbl.find ops op
+          |> List.map (fun (le, v) ->
+                 ( (match float_of_string_opt le with
+                   | Some f -> f
+                   | None -> Float.infinity),
+                   v ))
+          |> List.sort compare
+        in
+        let total = List.fold_left (fun acc (_, v) -> Float.max acc v) 0. buckets in
+        let pct p =
+          let target = p /. 100. *. total in
+          let rec go = function
+            | [] -> Float.nan
+            | (le, cum) :: rest ->
+              if cum >= target && cum > 0. then le else go rest
+          in
+          go buckets
+        in
+        if total > 0. then
+          Buffer.add_string b
+            (Printf.sprintf "%-6s %12.0f %11.1f %11.1f %11.1f\n" op total
+               (pct 50. /. 1e3) (pct 99. /. 1e3) (pct 99.9 /. 1e3)))
+      (List.rev !op_order);
+    Buffer.add_char b '\n'
+  end;
   (* Counter rates since the previous frame. *)
   let counters =
     List.filter_map
@@ -594,7 +648,7 @@ let write_port_file path port =
 
 let serve_cmd =
   let serve addr port backend shards workers metrics_port no_metrics port_file
-      metrics_port_file =
+      metrics_port_file slow_threshold_us slow_capacity slow_log sweep_chunk =
     let backend =
       match Nbhash_server.Backend.kind_of_string backend with
       | Some k -> k
@@ -603,13 +657,46 @@ let serve_cmd =
           backend;
         exit 1
     in
+    let policy =
+      match sweep_chunk with
+      | None -> None
+      | Some chunk when chunk >= 1 ->
+        Some
+          {
+            Nbhash_server.Backend.default_policy with
+            migration = { Policy.default_migration with chunk };
+          }
+      | Some chunk ->
+        Printf.eprintf "bad --sweep-chunk %d (must be >= 1)\n" chunk;
+        exit 1
+    in
+    let slow_threshold_ns =
+      if slow_threshold_us < 0. then None
+      else Some (int_of_float (slow_threshold_us *. 1e3))
+    in
     (* Request/span counters and table gauges only mean something with
        a live probe; install one for the server's whole lifetime. *)
     Nbhash_telemetry.Global.install (Nbhash_telemetry.Probe.recording ());
+    (* A resident flight recorder: the staged request slices land in
+       these rings, so slow-request captures can attach a trace tail. *)
+    Nbhash_telemetry.Trace.install
+      (Nbhash_telemetry.Trace.create ~lanes:64 ~capacity:(1 lsl 14) ());
     match
       let server =
         Server.start
-          ~config:{ Server.default_config with addr; port; backend; shards; workers }
+          ~config:
+            {
+              Server.default_config with
+              addr;
+              port;
+              backend;
+              shards;
+              workers;
+              policy;
+              slow_threshold_ns;
+              slow_capacity;
+              slow_log;
+            }
           ()
       in
       let metrics =
@@ -686,11 +773,37 @@ let serve_cmd =
       & opt (some string) None
       & info [ "metrics-port-file" ] ~docv:"PATH" ~doc)
   in
+  let slow_threshold_arg =
+    let doc =
+      "Slow-request capture threshold in microseconds; 0 captures every \
+       request, negative (the default) uses a rolling p999 estimate."
+    in
+    Arg.(
+      value & opt float (-1.) & info [ "slow-threshold-us" ] ~docv:"US" ~doc)
+  in
+  let slow_capacity_arg =
+    let doc = "Slow-request capture ring size." in
+    Arg.(value & opt int 64 & info [ "slow-capacity" ] ~docv:"N" ~doc)
+  in
+  let slow_log_arg =
+    let doc = "Append slow-request captures as JSON lines to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "slow-log" ] ~docv:"PATH" ~doc)
+  in
+  let sweep_chunk_arg =
+    let doc =
+      "Migration sweep chunk size (buckets claimed per cursor fetch); large \
+       values concentrate helping work in single requests, which is the \
+       stall-injection knob for exercising the slow-request capture."
+    in
+    Arg.(value & opt (some int) None & info [ "sweep-chunk" ] ~docv:"N" ~doc)
+  in
   let term =
     Term.(
       const serve $ addr_arg $ port_arg $ backend_arg $ shards_arg
       $ workers_arg $ metrics_port_arg $ no_metrics_arg $ port_file_arg
-      $ metrics_port_file_arg)
+      $ metrics_port_file_arg $ slow_threshold_arg $ slow_capacity_arg
+      $ slow_log_arg $ sweep_chunk_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -836,6 +949,146 @@ let drain_cmd =
        ~doc:"Ask a KV server to finish migrations and shut down.")
     term
 
+(* One v1 request/response exchange on a throwaway connection, shared
+   by drain-style operational commands. *)
+let kv_roundtrip ~host ~port req =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd
+        (Unix.ADDR_INET
+           (Nbhash_telemetry.Metrics_server.resolve_inet host, port));
+      Sproto.write_request fd req;
+      Sproto.read_response fd)
+
+let force_resize_cmd =
+  let force host port shard =
+    Nbhash_telemetry.Metrics_server.ignore_sigpipe ();
+    match kv_roundtrip ~host ~port (Sproto.Force_resize shard) with
+    | Result.Ok Sproto.Ok ->
+      Printf.printf "forced a grow of shard %d; migration in progress\n" shard
+    | Result.Ok (Sproto.Err m) ->
+      Printf.eprintf "error: %s\n" m;
+      exit 1
+    | Result.Ok (Sproto.Value _ | Sproto.Not_found) ->
+      Printf.eprintf "error: unexpected response to FORCE_RESIZE\n";
+      exit 1
+    | Result.Error msg | (exception Failure msg) ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: cannot reach %s:%d: %s\n" host port
+        (Unix.error_message e);
+      exit 1
+  in
+  let shard_arg =
+    let doc = "Shard index to grow." in
+    Arg.(value & opt int 0 & info [ "shard" ] ~docv:"N" ~doc)
+  in
+  let term = Term.(const force $ host_arg $ kv_port_arg $ shard_arg) in
+  Cmd.v
+    (Cmd.info "force-resize"
+       ~doc:
+         "Force a table grow on one shard of a running KV server — stall \
+          injection for exercising the slow-request capture.")
+    term
+
+(* --- slow: fetch and render a server's slow-request log --- *)
+
+let slow_cmd =
+  let slow host port json =
+    let module MS = Nbhash_telemetry.Metrics_server in
+    let module J = Nbhash_util.Json in
+    match MS.http_get ~host ~port "/slow.json" with
+    | Error msg ->
+      Printf.eprintf "error: cannot fetch http://%s:%d/slow.json: %s\n" host
+        port msg;
+      exit 1
+    | Ok (code, _) when code <> 200 ->
+      Printf.eprintf "error: http://%s:%d/slow.json answered %d\n" host port
+        code;
+      exit 1
+    | Ok (_, body) -> (
+      if json then print_string body
+      else
+        match J.parse body with
+        | Error msg ->
+          Printf.eprintf "error: cannot parse /slow.json: %s\n" msg;
+          exit 1
+        | Ok doc ->
+          let num name j = Option.bind (J.member name j) J.to_num in
+          let us j name =
+            match num name j with Some n -> n /. 1e3 | None -> Float.nan
+          in
+          (match num "threshold_ns" doc with
+          | Some t ->
+            Printf.printf "threshold %.1fus (captured %d, ring %d)\n"
+              (t /. 1e3)
+              (match num "captured" doc with Some n -> int_of_float n | None -> 0)
+              (match num "capacity" doc with Some n -> int_of_float n | None -> 0)
+          | None ->
+            print_endline
+              "threshold: rolling p999, not yet armed (needs 1000 requests)");
+          let entries =
+            match Option.bind (J.member "entries" doc) J.to_list with
+            | Some l -> l
+            | None -> []
+          in
+          if entries = [] then print_endline "no captures"
+          else
+            List.iter
+              (fun e ->
+                let str name = Option.bind (J.member name e) J.to_str in
+                Printf.printf
+                  "#%.0f %-4s key=%.0f shard=%.0f  total %.1fus = read %.1f + \
+                   decode %.1f + shard %.1f (help %.1f) + write %.1f  [over \
+                   threshold %.1fus]\n"
+                  (Option.value ~default:Float.nan (num "seq" e))
+                  (Option.value ~default:"?" (str "op"))
+                  (Option.value ~default:Float.nan (num "key" e))
+                  (Option.value ~default:Float.nan (num "shard" e))
+                  (us e "total_ns") (us e "read_ns") (us e "decode_ns")
+                  (us e "shard_ns") (us e "help_ns") (us e "write_ns")
+                  (us e "threshold_ns");
+                (match J.member "view" e with
+                | Some (J.Obj _ as v) ->
+                  Printf.printf
+                    "    shard: buckets=%.0f cardinal=%.0f load=%.2f \
+                     migrating=%s progress=%.0f%%\n"
+                    (Option.value ~default:Float.nan (num "buckets" v))
+                    (Option.value ~default:Float.nan (num "cardinal" v))
+                    (Option.value ~default:Float.nan (num "load_factor" v))
+                    (match J.member "migrating" v with
+                    | Some (J.Bool bv) -> string_of_bool bv
+                    | _ -> "?")
+                    (100.
+                    *. Option.value ~default:Float.nan
+                         (num "migration_progress" v))
+                | _ -> ());
+                match str "trace_tail" with
+                | None -> ()
+                | Some tail ->
+                  String.split_on_char '\n' tail
+                  |> List.iter (fun line ->
+                         if String.trim line <> "" then
+                           Printf.printf "    | %s\n" line))
+              entries)
+  in
+  let port_arg =
+    let doc = "Metrics/HTTP port of the server (the /slow.json endpoint)." in
+    Arg.(value & opt int 9464 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let json_arg =
+    let doc = "Dump the raw /slow.json body instead of pretty-printing." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let term = Term.(const slow $ host_arg $ port_arg $ json_arg) in
+  Cmd.v
+    (Cmd.info "slow"
+       ~doc:"Show a KV server's tail-sampled slow-request captures.")
+    term
+
 let () =
   let doc = "dynamic-sized nonblocking hash table workbench" in
   let info = Cmd.info "nbhash_cli" ~doc in
@@ -852,5 +1105,7 @@ let () =
             serve_cmd;
             load_cmd;
             drain_cmd;
+            force_resize_cmd;
+            slow_cmd;
             list_cmd;
           ]))

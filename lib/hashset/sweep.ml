@@ -104,6 +104,12 @@ let claim_chunk t ~chunk ~migrate ~on_complete =
     done;
     Tm.add Ev.Sweep_buckets_migrated (stop - start);
     Tm.record_span Ev.Sweep_span ~start_ns;
+    (* Attribute this chunk's duration to the claiming domain so the
+       KV server can charge migration help to the request that did it
+       (server_help_ns). [start_ns] is 0 iff no probe is recording, in
+       which case nothing was timed and nothing is attributed. *)
+    if start_ns <> 0 then
+      Nbhash_telemetry.Helptime.add (Nbhash_util.Clock.now_ns () - start_ns);
     let processed = stop - start in
     if Atomic.fetch_and_add t.processed processed + processed = t.total
     then begin

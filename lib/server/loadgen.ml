@@ -63,6 +63,9 @@ type tally = {
   mutable aborted : bool;
   mutable sum_ns : float;
   mutable max_ns : int;
+  op_sent : int array;  (* per opclass: get/put/del *)
+  mutable id_mismatches : int;  (* v2 replies with the wrong echo *)
+  mutable v2 : bool;  (* this connection negotiated revision 2 *)
 }
 
 let new_tally () =
@@ -75,7 +78,23 @@ let new_tally () =
     aborted = false;
     sum_ns = 0.;
     max_ns = 0;
+    op_sent = Array.make 3 0;
+    id_mismatches = 0;
+    v2 = false;
   }
+
+(* Per-opcode client-side stats, with the server's own p999 for the
+   same opcode (from the post-run STAT) joined in: the difference is
+   network + socket-queue time, and a client p999 far above the
+   server's is the coordinated-omission signature made visible. *)
+type op_stats = {
+  op : string;
+  op_sent : int;
+  op_p50_ns : float;
+  op_p99_ns : float;
+  op_p999_ns : float;
+  server_p999_ns : float option;
+}
 
 type report = {
   impl : string;  (** from the server's STAT reply, e.g. server/lockfreex2 *)
@@ -96,6 +115,9 @@ type report = {
   p999_ns : float;
   mean_ns : float;
   max_ns : int;
+  per_op : op_stats list;  (** get/put/del, in that order *)
+  v2_conns : int;  (** connections that negotiated protocol rev 2 *)
+  id_mismatches : int;
 }
 
 let connect ~host ~port =
@@ -120,25 +142,55 @@ let connect ~host ~port =
   in
   go 40
 
+(* One STAT round-trip, parsed; [None] if anything fails. *)
+let stat_json ~host ~port =
+  match
+    let fd = connect ~host ~port in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Protocol.write_request fd Stat;
+        Protocol.read_response fd)
+  with
+  | Result.Ok (Value body) -> (
+    match Nbhash_util.Json.parse body with
+    | Result.Ok j -> Some j
+    | Result.Error _ -> None)
+  | _ -> None
+  | exception (Unix.Unix_error _ | Sys_error _ | Failure _) -> None
+
 (* Fetch the server's self-description for the report's impl label. *)
 let stat_impl ~host ~port =
-  let fd = connect ~host ~port in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      Protocol.write_request fd Stat;
-      match Protocol.read_response fd with
-      | Result.Ok (Value body) -> (
-        let field name =
-          match Nbhash_util.Json.parse body with
-          | Result.Ok j -> Nbhash_util.Json.member name j
-          | Result.Error _ -> None
-        in
-        match (field "backend", field "shards") with
-        | Some (Str b), Some (Num s) ->
-          Printf.sprintf "server/%sx%d" b (int_of_float s)
-        | _ -> "server/unknown")
-      | _ -> "server/unknown")
+  match stat_json ~host ~port with
+  | None -> "server/unknown"
+  | Some j -> (
+    let field name = Nbhash_util.Json.member name j in
+    match (field "backend", field "shards") with
+    | Some (Str b), Some (Num s) ->
+      Printf.sprintf "server/%sx%d" b (int_of_float s)
+    | _ -> "server/unknown")
+
+(* The server-side p999 of one opcode from a STAT reply's "ops" block;
+   [None] on a pre-rev-2 server or when that opcode saw no attributed
+   traffic (probe not recording, or simply none sent). *)
+let server_p999_of_stat stat op =
+  Option.bind stat (fun j ->
+      Option.bind (Nbhash_util.Json.member "ops" j) (fun ops ->
+          Option.bind (Nbhash_util.Json.member op ops) (fun o ->
+              Option.bind (Nbhash_util.Json.member "p999_ns" o)
+                Nbhash_util.Json.to_num)))
+
+(* Negotiate protocol revision 2 on a fresh connection. An old server
+   answers the HELLO with a payload-level ERR and the connection stays
+   in sync, so [false] means "keep talking v1 on this same socket". *)
+let negotiate fd =
+  match
+    Protocol.write_request fd Protocol.Hello;
+    Protocol.read_response fd
+  with
+  | Result.Ok (Value ack) when ack = Protocol.hello_ack -> true
+  | Result.Ok _ | Result.Error _ -> false
+  | exception (Unix.Unix_error _ | Sys_error _) -> false
 
 let run ?(config = default_config) () =
   if config.conns < 1 then invalid_arg "Loadgen.run: conns < 1";
@@ -149,6 +201,9 @@ let run ?(config = default_config) () =
   Tm.Metrics_server.ignore_sigpipe ();
   let impl = stat_impl ~host:config.host ~port:config.port in
   let hist = Tm.Histogram.make () in
+  (* Per-opclass latency histograms (get/put/del), domain-sharded like
+     [hist] so the connections never synchronize on them. *)
+  let op_hists = Array.init 3 (fun _ -> Tm.Histogram.make ()) in
   let value = String.make config.value_bytes 'v' in
   let interval_ns =
     if config.rate = 0. then 0
@@ -159,6 +214,11 @@ let run ?(config = default_config) () =
   let worker d =
     let tally = new_tally () in
     let fd = ref (connect ~host:config.host ~port:config.port) in
+    let v2 = ref (negotiate !fd) in
+    tally.v2 <- !v2;
+    (* Distinct id space per connection (ids are per-connection on the
+       wire, but disjoint spaces catch any cross-connection mixup). *)
+    let next_id = ref (d lsl 20) in
     let ks =
       Keystream.create ~dist:config.dist ~key_range:config.key_range
         ~seed:(config.seed + (77 * d))
@@ -171,6 +231,30 @@ let run ?(config = default_config) () =
       if r < config.get_ratio then Protocol.Get k
       else if r < config.get_ratio +. config.del_ratio then Protocol.Del k
       else Protocol.Put (k, value)
+    in
+    let opclass = function
+      | Protocol.Get _ -> 0
+      | Protocol.Put _ -> 1
+      | _ -> 2
+    in
+    let exchange req =
+      if !v2 then begin
+        let id = !next_id land 0xFFFFFFFF in
+        incr next_id;
+        Protocol.write_request_v2 !fd ~id req;
+        match Protocol.read_response_v2 !fd with
+        | Result.Ok (rid, resp) ->
+          if rid <> id then begin
+            tally.id_mismatches <- tally.id_mismatches + 1;
+            Result.Error "response id mismatch"
+          end
+          else Result.Ok resp
+        | Result.Error msg -> Result.Error msg
+      end
+      else begin
+        Protocol.write_request !fd req;
+        Protocol.read_response !fd
+      end
     in
     let t0 = Nbhash_util.Clock.now_ns () in
     let deadline = deadline_of t0 in
@@ -192,10 +276,9 @@ let run ?(config = default_config) () =
         if interval_ns > 0 && now < !due then
           Unix.sleepf (float_of_int (!due - now) *. 1e-9);
         let start = if interval_ns = 0 then Nbhash_util.Clock.now_ns () else !due in
-        match
-          Protocol.write_request !fd (request ());
-          Protocol.read_response !fd
-        with
+        let req = request () in
+        let cls = opclass req in
+        match exchange req with
         | resp ->
           (match resp with
           | Result.Ok Ok | Result.Ok (Value _) -> tally.ok <- tally.ok + 1
@@ -203,8 +286,10 @@ let run ?(config = default_config) () =
           | Result.Ok (Err _) | Result.Error _ ->
             tally.errors <- tally.errors + 1);
           tally.sent <- tally.sent + 1;
+          tally.op_sent.(cls) <- tally.op_sent.(cls) + 1;
           let lat = Nbhash_util.Clock.now_ns () - start in
           Tm.Histogram.observe hist lat;
+          Tm.Histogram.observe op_hists.(cls) lat;
           tally.sum_ns <- tally.sum_ns +. float_of_int lat;
           if lat > tally.max_ns then tally.max_ns <- lat
         | exception (Unix.Unix_error _ | Sys_error _) -> (
@@ -219,6 +304,10 @@ let run ?(config = default_config) () =
           match connect ~host:config.host ~port:config.port with
           | nfd ->
             fd := nfd;
+            (* The revision is per connection; renegotiate so the id
+               stream stays joined across the reconnect. *)
+            v2 := negotiate nfd;
+            tally.v2 <- tally.v2 && !v2;
             due := Nbhash_util.Clock.now_ns ()
           | exception Failure _ ->
             tally.aborted <- true;
@@ -234,6 +323,7 @@ let run ?(config = default_config) () =
   let parts = List.map Domain.join domains in
   let total = new_tally () in
   let aborted = ref 0 in
+  let v2_conns = ref 0 in
   let elapsed_ns = ref 0 in
   List.iter
     (fun ((t : tally), e) ->
@@ -243,6 +333,11 @@ let run ?(config = default_config) () =
       total.errors <- total.errors + t.errors;
       total.drops <- total.drops + t.drops;
       if t.aborted then incr aborted;
+      if t.v2 then incr v2_conns;
+      total.id_mismatches <- total.id_mismatches + t.id_mismatches;
+      Array.iteri
+        (fun i v -> total.op_sent.(i) <- total.op_sent.(i) + v)
+        t.op_sent;
       total.sum_ns <- total.sum_ns +. t.sum_ns;
       if t.max_ns > total.max_ns then total.max_ns <- t.max_ns;
       if e > !elapsed_ns then elapsed_ns := e)
@@ -252,6 +347,28 @@ let run ?(config = default_config) () =
   let n = Array.fold_left ( + ) 0 counts in
   let pct p =
     if n = 0 then 0. else Tm.Histogram.percentile_of_counts counts n p
+  in
+  (* The client/server join: client percentiles from this run's own
+     histograms, the server's p999 for the same opcode from a post-run
+     STAT. The gap between them is network + socket-queue time. *)
+  let post_stat = stat_json ~host:config.host ~port:config.port in
+  let per_op =
+    List.mapi
+      (fun i op ->
+        let counts = Tm.Histogram.counts op_hists.(i) in
+        let n = Array.fold_left ( + ) 0 counts in
+        let pct p =
+          if n = 0 then 0. else Tm.Histogram.percentile_of_counts counts n p
+        in
+        {
+          op;
+          op_sent = total.op_sent.(i);
+          op_p50_ns = pct 50.;
+          op_p99_ns = pct 99.;
+          op_p999_ns = pct 99.9;
+          server_p999_ns = server_p999_of_stat post_stat op;
+        })
+      [ "get"; "put"; "del" ]
   in
   {
     impl;
@@ -271,6 +388,9 @@ let run ?(config = default_config) () =
     mean_ns =
       (if total.sent > 0 then total.sum_ns /. float_of_int total.sent else 0.);
     max_ns = total.max_ns;
+    per_op;
+    v2_conns = !v2_conns;
+    id_mismatches = total.id_mismatches;
   }
 
 (* --- rendering --- *)
@@ -288,8 +408,8 @@ let to_bench_json (r : report) =
   let c = r.config in
   let params =
     String.concat ","
-      [
-        Printf.sprintf "\"workers\":%d" c.conns;
+      ([
+         Printf.sprintf "\"workers\":%d" c.conns;
         Printf.sprintf "\"key_range\":%d" c.key_range;
         Printf.sprintf "\"lookup_ratio\":%g" c.get_ratio;
         Printf.sprintf "\"duration\":%g" c.duration_s;
@@ -307,7 +427,24 @@ let to_bench_json (r : report) =
         Printf.sprintf "\"p999_ns\":%.0f" r.p999_ns;
         Printf.sprintf "\"mean_ns\":%.0f" r.mean_ns;
         Printf.sprintf "\"max_ns\":%d" r.max_ns;
-      ]
+        Printf.sprintf "\"proto\":%d" (if r.v2_conns > 0 then 2 else 1);
+        Printf.sprintf "\"v2_conns\":%d" r.v2_conns;
+        Printf.sprintf "\"id_mismatches\":%d" r.id_mismatches;
+       ]
+      @ List.concat_map
+          (fun (o : op_stats) ->
+            [
+              Printf.sprintf "\"%s_sent\":%d" o.op o.op_sent;
+              Printf.sprintf "\"%s_p50_ns\":%.0f" o.op o.op_p50_ns;
+              Printf.sprintf "\"%s_p99_ns\":%.0f" o.op o.op_p99_ns;
+              Printf.sprintf "\"%s_p999_ns\":%.0f" o.op o.op_p999_ns;
+            ]
+            @
+            match o.server_p999_ns with
+            | None -> []
+            | Some v ->
+              [ Printf.sprintf "\"%s_server_p999_ns\":%.0f" o.op v ])
+          r.per_op)
   in
   Printf.sprintf
     "{\"schema\":\"nbhash-bench-v2\",\"mode\":\"load\",\"meta\":%s,\"results\":[{\"exp\":\"slo\",\"impl\":%S,\"params\":{%s},\"ops_per_usec\":%.6f,\"telemetry\":null}]}\n"
@@ -334,4 +471,27 @@ let print_human (r : report) =
     "  latency (open-loop, from due time): p50 %.1fus  p99 %.1fus  p999 \
      %.1fus  mean %.1fus  max %.1fus\n"
     (us r.p50_ns) (us r.p99_ns) (us r.p999_ns) (us r.mean_ns)
-    (us (float_of_int r.max_ns))
+    (us (float_of_int r.max_ns));
+  Printf.printf "  proto: rev %d on %d/%d connections"
+    (if r.v2_conns > 0 then 2 else 1)
+    (if r.v2_conns > 0 then r.v2_conns else c.conns)
+    c.conns;
+  if r.id_mismatches > 0 then
+    Printf.printf "  (%d ID MISMATCHES)" r.id_mismatches;
+  print_newline ();
+  List.iter
+    (fun (o : op_stats) ->
+      if o.op_sent > 0 then begin
+        Printf.printf "  %-3s sent %-8d p50 %8.1fus  p99 %8.1fus  p999 %8.1fus"
+          o.op o.op_sent (us o.op_p50_ns) (us o.op_p99_ns) (us o.op_p999_ns);
+        (match o.server_p999_ns with
+        | None -> ()
+        | Some sp ->
+          (* client p999 - server p999 ~ network + socket-queue time;
+             a large gap with a healthy server-side tail means the
+             latency lives outside the request handler. *)
+          Printf.printf "  | server p999 %8.1fus  net+queue ~%.1fus" (us sp)
+            (us (Float.max 0. (o.op_p999_ns -. sp))));
+        print_newline ()
+      end)
+    r.per_op

@@ -5,8 +5,11 @@ type request =
   | Ping
   | Drain
   | Stat
+  | Hello
+  | Force_resize of int
 
 type response = Value of string | Ok | Not_found | Err of string
+type rev = V1 | V2
 
 let max_key = 1 lsl 59
 let default_max_frame = 1 lsl 20
@@ -19,10 +22,20 @@ let op_del = '\x03'
 let op_ping = '\x04'
 let op_drain = '\x05'
 let op_stat = '\x06'
+let op_force_resize = '\x07'
 let op_value = '\x80'
 let op_ok = '\x81'
 let op_not_found = '\x82'
 let op_err = '\xee'
+
+(* HELLO is a PING with a one-byte body naming the requested protocol
+   revision — deliberately a *payload-level* error on a v1 server
+   ("PING expects a 1-byte payload"), which answers ERR and keeps the
+   connection open, so a v2 client falls back to v1 framing on the
+   same connection. A v2 server answers [Value hello_ack] and switches
+   that connection to v2 frames for everything that follows. *)
+let hello_rev = '\x02'
+let hello_ack = "\x02"
 
 (* --- payload codec --- *)
 
@@ -46,6 +59,12 @@ let request_to_payload = function
   | Ping -> String.make 1 op_ping
   | Drain -> String.make 1 op_drain
   | Stat -> String.make 1 op_stat
+  | Hello ->
+    let b = Bytes.create 2 in
+    Bytes.set b 0 op_ping;
+    Bytes.set b 1 hello_rev;
+    Bytes.unsafe_to_string b
+  | Force_resize shard -> keyed_payload op_force_resize shard ""
 
 let response_to_payload = function
   | Value v -> bodied_payload op_value v
@@ -87,8 +106,14 @@ let request_of_payload payload =
         let* k = key_of payload in
         Result.Ok (Put (k, String.sub payload 9 (n - 9)))
     | c when c = op_ping ->
-      let* () = body_exn 1 "PING" in
-      Result.Ok Ping
+      if n = 1 then Result.Ok Ping
+      else if n = 2 && payload.[1] = hello_rev then Result.Ok Hello
+      else
+        Result.Error (Printf.sprintf "PING expects a 1-byte payload, got %d" n)
+    | c when c = op_force_resize ->
+      let* () = body_exn 9 "FORCE_RESIZE" in
+      let* shard = key_of payload in
+      Result.Ok (Force_resize shard)
     | c when c = op_drain ->
       let* () = body_exn 1 "DRAIN" in
       Result.Ok Drain
@@ -179,3 +204,111 @@ let read_response ?max_frame fd =
   | Result.Error _ as e -> e
   | Result.Ok None -> Result.Error "connection closed before the response"
   | Result.Ok (Some payload) -> response_of_payload payload
+
+(* --- timed framed read (stage attribution) --- *)
+
+(* Like [read_frame], but also returns the monotonic timestamp taken
+   right after the *first* byte of the length prefix arrived — the
+   boundary between "parked waiting for a request" and "reading one".
+   The wait for byte 0 is deliberately untimed (a connection can idle
+   for seconds between requests); everything after it is the read
+   stage. When [timed] is false this is exactly [read_frame] plus a
+   constant 0, with the prefix read as a single syscall. *)
+let read_frame_timed ?(max_frame = default_max_frame) ~timed fd =
+  if not timed then (read_frame ~max_frame fd, 0)
+  else
+    let prefix = Bytes.create 4 in
+    let read_exact_from b off want =
+      let got = ref 0 in
+      let eof = ref false in
+      while (not !eof) && !got < want do
+        let n = intr_read fd b (off + !got) (want - !got) in
+        if n = 0 then eof := true else got := !got + n
+      done;
+      !got
+    in
+    match read_exact_from prefix 0 1 with
+    | 0 -> (Result.Ok None, 0)
+    | _ -> (
+      let t_first = Nbhash_util.Clock.now_ns () in
+      match 1 + read_exact_from prefix 1 3 with
+      | p when p < 4 ->
+        ( Result.Error
+            (Printf.sprintf "truncated length prefix (%d of 4 bytes)" p),
+          t_first )
+      | _ ->
+        let len = Int32.to_int (Bytes.get_int32_be prefix 0) in
+        if len <= 0 then
+          (Result.Error (Printf.sprintf "bad declared length %d" len), t_first)
+        else if len > max_frame then
+          ( Result.Error
+              (Printf.sprintf "oversized declared length %d (max %d)" len
+                 max_frame),
+            t_first )
+        else
+          let body = Bytes.create len in
+          (match read_exact fd body len with
+          | got when got < len ->
+            Result.Error
+              (Printf.sprintf "truncated frame (%d of %d bytes)" got len)
+          | _ -> Result.Ok (Some (Bytes.unsafe_to_string body)))
+          |> fun r -> (r, t_first))
+
+(* --- protocol revision 2 --- *)
+
+(* A v2 frame is the v1 frame with a 4-byte big-endian request id
+   spliced in between the opcode byte and the rest of the payload,
+   echoed verbatim in the response frame — the client-side join key
+   that lets the load generator match each reply to the exact send it
+   timed. Negotiated per connection via HELLO (see [hello_rev]);
+   everything below splices into / strips out of the v1 codec so the
+   two revisions cannot drift apart. *)
+
+let v2_splice payload ~id =
+  let n = String.length payload in
+  let b = Bytes.create (n + 4) in
+  Bytes.set b 0 payload.[0];
+  Bytes.set_int32_be b 1 (Int32.of_int (id land 0xFFFFFFFF));
+  Bytes.blit_string payload 1 b 5 (n - 1);
+  Bytes.unsafe_to_string b
+
+let v2_strip payload =
+  let n = String.length payload in
+  let b = Bytes.create (n - 4) in
+  Bytes.set b 0 payload.[0];
+  Bytes.blit_string payload 5 b 1 (n - 5);
+  Bytes.unsafe_to_string b
+
+(* The id of a v2 frame, without decoding the rest; 0 when the frame
+   is too short to carry one (the decode will fail anyway, but error
+   replies still echo something well-defined). *)
+let v2_frame_id payload =
+  if String.length payload < 5 then 0
+  else Int32.to_int (String.get_int32_be payload 1) land 0xFFFFFFFF
+
+let write_request_v2 fd ~id r =
+  write_frame fd (v2_splice (request_to_payload r) ~id)
+
+let write_response_v2 fd ~id r =
+  write_frame fd (v2_splice (response_to_payload r) ~id)
+
+let request_of_payload_v2 payload =
+  if String.length payload < 5 then
+    Result.Error
+      (Printf.sprintf "v2 frame too short for a request id (%d bytes)"
+         (String.length payload))
+  else request_of_payload (v2_strip payload)
+
+let read_response_v2 ?max_frame fd =
+  match read_frame ?max_frame fd with
+  | Result.Error msg -> Result.Error msg
+  | Result.Ok None -> Result.Error "connection closed before the response"
+  | Result.Ok (Some payload) ->
+    if String.length payload < 5 then
+      Result.Error
+        (Printf.sprintf "v2 frame too short for a request id (%d bytes)"
+           (String.length payload))
+    else (
+      match response_of_payload (v2_strip payload) with
+      | Result.Ok r -> Result.Ok (v2_frame_id payload, r)
+      | Result.Error msg -> Result.Error msg)

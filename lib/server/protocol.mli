@@ -17,7 +17,16 @@
     declared length) are answered with an ERR frame before the server
     closes the connection; payload-level errors (bad opcode, wrong
     body size, key out of range) are answered with ERR and the
-    connection stays usable, because the framing is still in sync. *)
+    connection stays usable, because the framing is still in sync.
+
+    {b Revision 2.} A connection starts in v1. A client that sends
+    {!Hello} (a PING with a one-byte body naming revision 2 — a
+    payload-level error on a v1 server, so the ERR reply doubles as a
+    clean fallback signal) and receives [Value hello_ack] has switched
+    that connection to v2: every subsequent frame, both directions,
+    carries a 4-byte big-endian request id between the opcode byte and
+    the v1 body, echoed verbatim in the response. The id is the
+    client-side join key for per-request latency attribution. *)
 
 type request =
   | Get of int
@@ -26,8 +35,18 @@ type request =
   | Ping
   | Drain  (** finish in-flight migrations, then shut the server down *)
   | Stat  (** server configuration and occupancy as a small JSON body *)
+  | Hello  (** negotiate protocol revision 2 on this connection *)
+  | Force_resize of int
+      (** force a grow of the given shard's table — operational stall
+          injection for testing the slow-request capture *)
 
 type response = Value of string | Ok | Not_found | Err of string
+
+type rev = V1 | V2
+(** Per-connection protocol revision (see {!Hello}). *)
+
+val hello_ack : string
+(** The VALUE body a v2 server answers {!Hello} with. *)
 
 val max_key : int
 (** [2^59]. Keys at or above this are reserved for the server's own
@@ -60,3 +79,34 @@ val read_frame :
 val read_response :
   ?max_frame:int -> Unix.file_descr -> (response, string) result
 (** [read_frame] + decode; EOF where a response was due is an error. *)
+
+val read_frame_timed :
+  ?max_frame:int ->
+  timed:bool ->
+  Unix.file_descr ->
+  (string option, string) result * int
+(** [read_frame] that also returns the monotonic timestamp taken right
+    after the first prefix byte arrived — the boundary between idle
+    wait and the read stage, for per-request attribution. With
+    [~timed:false] (telemetry disabled) it is exactly [read_frame]
+    plus a constant [0]: single-syscall prefix read, no clock. *)
+
+(** {1 Revision 2 codec and IO}
+
+    v2 frames carry a 4-byte request id between opcode and body;
+    responses echo the request's id. *)
+
+val write_request_v2 : Unix.file_descr -> id:int -> request -> unit
+val write_response_v2 : Unix.file_descr -> id:int -> response -> unit
+
+val request_of_payload_v2 : string -> (request, string) result
+(** Decode a v2 request payload (id stripped; read it separately with
+    {!v2_frame_id} — error replies echo it even when the decode
+    fails). *)
+
+val v2_frame_id : string -> int
+(** The request id of a v2 frame; 0 if the frame is too short. *)
+
+val read_response_v2 :
+  ?max_frame:int -> Unix.file_descr -> (int * response, string) result
+(** Read one v2 response; returns [(echoed_id, response)]. *)

@@ -36,6 +36,11 @@ type config = {
   workers : int;
   max_frame : int;
   policy : Nbhash.Policy.t option;
+  slow_threshold_ns : int option;
+      (** slow-request capture threshold; [None] = rolling p999
+          estimate, [Some 0] captures every attributed request *)
+  slow_capacity : int;  (** slow-request ring size *)
+  slow_log : string option;  (** append captures as JSON lines here *)
 }
 
 let default_config =
@@ -47,6 +52,9 @@ let default_config =
     workers = 2;
     max_frame = Protocol.default_max_frame;
     policy = None;
+    slow_threshold_ns = None;
+    slow_capacity = 64;
+    slow_log = None;
   }
 
 type t = {
@@ -57,6 +65,8 @@ type t = {
   listen_fd : Unix.file_descr;
   stopping : bool Atomic.t;
   conns : Unix.file_descr list Atomic.t;
+  slowlog : Slowlog.t;
+  slow_route : Tm.Metrics_server.route_registration;
   mutable domains : unit Domain.t list
       [@nbhash.plain_ok
         "written once by the booting thread before any worker can observe \
@@ -66,6 +76,7 @@ type t = {
 let port t = t.port
 let backend t = t.backend
 let config t = t.config
+let slowlog t = t.slowlog
 
 let conn_track t fd =
   let rec go () =
@@ -108,70 +119,137 @@ let initiate_stop t =
       (Atomic.get t.conns)
   end
 
+(* STAT carries the protocol revision and, when the probe records,
+   per-opcode service-time percentiles — the server half of the load
+   generator's client/server p999 join. *)
 let stat_body t =
+  let ops =
+    String.concat ","
+      (List.map
+         (fun op ->
+           match Stages.op_summary op with
+           | None -> Printf.sprintf "\"%s\":null" (Stages.op_name op)
+           | Some (n, p50, p99, p999) ->
+             Printf.sprintf
+               "\"%s\":{\"n\":%d,\"p50_ns\":%.0f,\"p99_ns\":%.0f,\"p999_ns\":%.0f}"
+               (Stages.op_name op) n p50 p99 p999)
+         [ Stages.Get; Stages.Put; Stages.Del ])
+  in
   Printf.sprintf
-    "{\"backend\":\"%s\",\"shards\":%d,\"workers\":%d,\"cardinal\":%d}"
+    "{\"backend\":\"%s\",\"shards\":%d,\"workers\":%d,\"cardinal\":%d,\"proto_rev\":2,\"ops\":{%s}}"
     (Backend.kind_name (Backend.kind t.backend))
     (Backend.shard_count t.backend)
     t.config.workers
     (Backend.cardinal t.backend)
+    ops
 
-(* Execute one decoded request. Returns [true] to keep serving the
-   connection. DRAIN finishes the shards' migrations with the worker's
-   own handle bundle before acking, then brings the whole server
-   down. *)
-let execute t h fd (req : Protocol.request) =
+(* Perform one decoded request — the shard stage, response writing
+   excluded so the write stage can be timed separately. Returns the
+   response and [true] to keep serving the connection. DRAIN finishes
+   the shards' migrations with the worker's own handle bundle before
+   acking, then brings the whole server down. *)
+let perform t h (req : Protocol.request) : Protocol.response * bool =
   match req with
   | Get k ->
-    Protocol.write_response fd
-      (match Backend.get h k with Some v -> Value v | None -> Not_found);
-    true
+    ((match Backend.get h k with Some v -> Value v | None -> Not_found), true)
   | Put (k, v) ->
     Backend.put h k v;
-    Protocol.write_response fd Ok;
-    true
-  | Del k ->
-    Protocol.write_response fd (if Backend.del h k then Ok else Not_found);
-    true
-  | Ping ->
-    Protocol.write_response fd Ok;
-    true
-  | Stat ->
-    Protocol.write_response fd (Value (stat_body t));
-    true
+    (Ok, true)
+  | Del k -> ((if Backend.del h k then Ok else Not_found), true)
+  | Ping -> (Ok, true)
+  | Hello -> (Value Protocol.hello_ack, true)
+  | Stat -> (Value (stat_body t), true)
+  | Force_resize shard ->
+    if shard < 0 || shard >= Backend.shard_count t.backend then
+      ( Err
+          (Printf.sprintf "shard %d out of range [0, %d)" shard
+             (Backend.shard_count t.backend)),
+        true )
+    else begin
+      Backend.force_resize h ~shard ~grow:true;
+      (Ok, true)
+    end
   | Drain ->
     Backend.drain h;
     initiate_stop t;
-    Protocol.write_response fd Ok;
-    false
+    (Ok, false)
+
+(* The shard a keyed request is routed to, for the slow-request
+   capture's table_view attachment; -1 when no shard owns it. *)
+let shard_of_request t (req : Protocol.request) =
+  match req with
+  | Get k | Put (k, _) | Del k -> Backend.shard_of_key t.backend k
+  | Force_resize shard -> shard
+  | Ping | Drain | Stat | Hello -> -1
+
+let key_of_request (req : Protocol.request) =
+  match req with
+  | Get k | Put (k, _) | Del k -> k
+  | Ping | Drain | Stat | Hello | Force_resize _ -> -1
+
+let write_reply fd rev ~id resp =
+  match (rev : Protocol.rev) with
+  | V1 -> Protocol.write_response fd resp
+  | V2 -> Protocol.write_response_v2 fd ~id resp
 
 let serve_connection t h fd =
   Tm.Global.emit Ev.Server_conn;
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let ctx = Stages.make () in
+  let rev = ref Protocol.V1 in
   let continue = ref true in
   while !continue do
-    match Protocol.read_frame ~max_frame:t.config.max_frame fd with
-    | Ok None -> continue := false
+    Stages.frame_start ctx;
+    let frame, t_first =
+      Protocol.read_frame_timed ~max_frame:t.config.max_frame
+        ~timed:(Stages.enabled ctx) fd
+    in
+    match frame with
+    | Ok None ->
+      Stages.frame_abandoned ctx;
+      continue := false
     | Error msg ->
       (* Framing is lost (truncated or oversized): answer with a
          protocol error, then drop the connection — there is no way
          back in sync. *)
+      Stages.frame_abandoned ctx;
       Tm.Global.emit Ev.Server_error;
-      (try Protocol.write_response fd (Err msg)
-       with Unix.Unix_error _ -> ());
+      (try write_reply fd !rev ~id:0 (Err msg) with Unix.Unix_error _ -> ());
       continue := false
     | Ok (Some payload) -> (
-      let start_ns = Tm.Global.span_begin Ev.Server_span in
-      (match Protocol.request_of_payload payload with
+      Stages.read_done ctx ~t_first;
+      let id, decoded =
+        match !rev with
+        | Protocol.V1 -> (0, Protocol.request_of_payload payload)
+        | Protocol.V2 ->
+          (Protocol.v2_frame_id payload, Protocol.request_of_payload_v2 payload)
+      in
+      Stages.decode_done ctx;
+      (match decoded with
       | Error msg ->
         (* The frame was well-delimited, only its payload is bad: the
            connection stays usable. *)
         Tm.Global.emit Ev.Server_error;
-        Protocol.write_response fd (Err msg)
+        write_reply fd !rev ~id (Err msg);
+        Stages.abandon_request ctx
       | Ok req ->
         Tm.Global.emit Ev.Server_request;
-        continue := execute t h fd req);
-      Tm.Global.record_span Ev.Server_span ~start_ns;
+        let op = Stages.opclass_of_request req in
+        Stages.shard_start ctx;
+        let resp, keep = perform t h req in
+        Stages.shard_done ctx;
+        write_reply fd !rev ~id resp;
+        Stages.finish ctx ~op;
+        (* HELLO's ack goes out in the revision the client sent it
+           under; the switch takes effect from the next frame. *)
+        (match req with Protocol.Hello -> rev := Protocol.V2 | _ -> ());
+        if Stages.enabled ctx then
+          Slowlog.note t.slowlog ~op:(Stages.op_name op)
+            ~key:(key_of_request req) ~shard:(shard_of_request t req)
+            ~total_ns:(Stages.total_ns ctx) ~read_ns:(Stages.read_ns ctx)
+            ~decode_ns:(Stages.decode_ns ctx) ~shard_ns:(Stages.shard_ns ctx)
+            ~help_ns:(Stages.help_ns ctx) ~write_ns:(Stages.write_ns ctx);
+        continue := keep);
       if Atomic.get t.stopping then continue := false)
   done
 
@@ -230,6 +308,21 @@ let start ?(config = default_config) () =
      cannot fail here; storing the inet keeps initiate_stop's wake
      fallback from re-resolving — Failure-free — on the stop path. *)
   let inet = Nbhash_telemetry.Metrics_server.resolve_inet config.addr in
+  let slowlog =
+    Slowlog.create ~capacity:config.slow_capacity
+      ?threshold_ns:config.slow_threshold_ns ?log:config.slow_log
+      ~inspect:(fun shard ->
+        if shard >= 0 && shard < Backend.shard_count backend then
+          Some (Backend.inspect_shard backend shard)
+        else None)
+      ()
+  in
+  (* Published through the metrics endpoint like the gauges: any
+     Metrics_server running in this process serves /slow.json. *)
+  let slow_route =
+    Tm.Metrics_server.register_route ~path:"/slow.json" (fun () ->
+        (200, "application/json", Slowlog.to_json slowlog))
+  in
   let t =
     {
       config;
@@ -239,6 +332,8 @@ let start ?(config = default_config) () =
       listen_fd;
       stopping = Atomic.make false;
       conns = Atomic.make [];
+      slowlog;
+      slow_route;
       domains = [];
     }
   in
@@ -255,6 +350,8 @@ let wait t =
   List.iter Domain.join t.domains;
   t.domains <- [];
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Tm.Metrics_server.unregister_route t.slow_route;
+  Slowlog.close t.slowlog;
   Backend.close t.backend
 
 (* Programmatic shutdown with the same drain guarantee as the DRAIN

@@ -28,8 +28,11 @@ type t =
   | Server_error
       (** the KV server answered a protocol error (malformed frame,
           bad opcode, oversized declared length) *)
+  | Server_slow
+      (** a request exceeded the slow-request threshold and was
+          captured into the slow-request log *)
 
-let count = 16
+let count = 17
 
 let index = function
   | Cas_retry -> 0
@@ -48,6 +51,7 @@ let index = function
   | Server_conn -> 13
   | Server_request -> 14
   | Server_error -> 15
+  | Server_slow -> 16
 
 let to_string = function
   | Cas_retry -> "cas_retry"
@@ -66,6 +70,7 @@ let to_string = function
   | Server_conn -> "server_conn"
   | Server_request -> "server_request"
   | Server_error -> "server_error"
+  | Server_slow -> "server_slow"
 
 let all =
   [
@@ -85,6 +90,7 @@ let all =
     Server_conn;
     Server_request;
     Server_error;
+    Server_slow;
   ]
 
 (* Inverse of [index]; total on [0, count). The trace-ring decoder
@@ -109,8 +115,20 @@ type span =
       (** raw-value histogram of linear-probe distances observed by
           flat (open-addressing) FSet inserts and removes at their
           linearization slot *)
+  | Server_read_span
+      (** frame read stage: first byte of the length prefix to the
+          fully-buffered request payload (the trace slice additionally
+          covers the idle wait for the first byte) *)
+  | Server_decode_span  (** request payload decode stage *)
+  | Server_shard_span
+      (** shard operation stage: backend get/put/del including any
+          cooperative migration help performed inside it *)
+  | Server_help_span
+      (** migration-help time attributed to one request's shard stage
+          (sweep chunks claimed on the serving domain) *)
+  | Server_write_span  (** reply encode-and-flush stage *)
 
-let span_count = 6
+let span_count = 11
 
 let span_index = function
   | Resize_span -> 0
@@ -119,6 +137,11 @@ let span_index = function
   | Sweep_helpers -> 3
   | Server_span -> 4
   | Probe_len -> 5
+  | Server_read_span -> 6
+  | Server_decode_span -> 7
+  | Server_shard_span -> 8
+  | Server_help_span -> 9
+  | Server_write_span -> 10
 
 let span_to_string = function
   | Resize_span -> "resize_ns"
@@ -127,11 +150,17 @@ let span_to_string = function
   | Sweep_helpers -> "sweep_helpers"
   | Server_span -> "server_request_ns"
   | Probe_len -> "probe_len"
+  | Server_read_span -> "server_read_ns"
+  | Server_decode_span -> "server_decode_ns"
+  | Server_shard_span -> "server_shard_ns"
+  | Server_help_span -> "server_help_ns"
+  | Server_write_span -> "server_write_ns"
 
 let all_spans =
   [
     Resize_span; Slowpath_span; Sweep_span; Sweep_helpers; Server_span;
-    Probe_len;
+    Probe_len; Server_read_span; Server_decode_span; Server_shard_span;
+    Server_help_span; Server_write_span;
   ]
 
 (* Inverse of [span_index]; total on [0, span_count). *)

@@ -106,8 +106,45 @@ let listen_tcp ?(backlog = 16) ~addr ~port () =
 let http_status = function
   | 200 -> "200 OK"
   | 404 -> "404 Not Found"
+  | 500 -> "500 Internal Server Error"
   | 503 -> "503 Service Unavailable"
   | code -> string_of_int code ^ " Error"
+
+(* Extensible GET routes, so subsystems outside the telemetry library
+   (the KV server's /slow.json) can publish documents through the
+   scrape endpoint without this module depending on them. Same
+   CAS-swapped immutable list idiom as the [Gauge] registry. A
+   registered path shadows nothing: built-in routes are matched
+   first. Handlers return [(status, content_type, body)] and run on
+   the server domain; one that raises answers 500 for that scrape
+   only. *)
+
+type route = {
+  route_id : int;
+  path : string;
+  handler : unit -> int * string * string;
+}
+
+type route_registration = int
+
+let route_next = Atomic.make 0
+let routes : route list Atomic.t = Atomic.make []
+
+let rec route_swap f =
+  let cur = Atomic.get routes in
+  if not (Atomic.compare_and_set routes cur (f cur)) then route_swap f
+
+let register_route ~path handler =
+  let id = Atomic.fetch_and_add route_next 1 in
+  route_swap (fun l -> { route_id = id; path; handler } :: l);
+  (id : route_registration)
+
+let unregister_route (id : route_registration) =
+  route_swap (List.filter (fun r -> r.route_id <> id))
+
+(* Newest registration of a path wins (the list is newest-first). *)
+let find_route path =
+  List.find_opt (fun r -> r.path = path) (Atomic.get routes)
 
 let write_response fd ~code ~content_type body =
   let head =
@@ -139,6 +176,26 @@ let health_body watchdog =
              (fun s -> Format.asprintf "%a@." Watchdog.pp_stall s)
              stalls) ))
 
+(* The snapshot's flight-recorder block: activity plus loss accounting
+   (satellite of the slow-request work — overwrite-oldest used to be
+   silent). Lanes listed only when they lost something. *)
+let trace_block () =
+  match Trace.active () with
+  | None -> "{\"active\":false}"
+  | Some tr ->
+    let d = Trace.drops tr in
+    let lanes =
+      Trace.lane_drops tr |> Array.to_list
+      |> List.filter (fun (_, o, t) -> o > 0 || t > 0)
+      |> List.map (fun (i, o, t) ->
+             Printf.sprintf "{\"lane\":%d,\"overwritten\":%d,\"torn\":%d}" i o
+               t)
+      |> String.concat ","
+    in
+    Printf.sprintf
+      "{\"active\":true,\"written\":%d,\"dropped\":{\"overwritten\":%d,\"torn\":%d},\"lanes\":[%s]}"
+      (Trace.written tr) d.Trace.overwritten d.Trace.torn lanes
+
 let handle_request ~watchdog fd target =
   match target with
   | "/metrics" ->
@@ -146,7 +203,10 @@ let handle_request ~watchdog fd target =
       (Openmetrics.render ())
   | "/snapshot.json" ->
     write_response fd ~code:200 ~content_type:"application/json"
-      (Snapshot.to_json ~meta:(Meta.json ()) (Probe.snapshot (Global.get ())))
+      (Snapshot.to_json ~meta:(Meta.json ())
+         ~families:(Labeled.families_json ())
+         ~trace:(trace_block ())
+         (Probe.snapshot (Global.get ())))
   | "/health" ->
     let code, body = health_body watchdog in
     write_response fd ~code ~content_type:"text/plain" body
@@ -158,7 +218,16 @@ let handle_request ~watchdog fd target =
     | None ->
       write_response fd ~code:404 ~content_type:"text/plain"
         "tracing is not active\n")
-  | _ -> write_response fd ~code:404 ~content_type:"text/plain" "not found\n"
+  | target -> (
+    match find_route target with
+    | Some r ->
+      let code, content_type, body =
+        try r.handler ()
+        with _ -> (500, "text/plain", "route handler failed\n")
+      in
+      write_response fd ~code ~content_type body
+    | None ->
+      write_response fd ~code:404 ~content_type:"text/plain" "not found\n")
 
 (* Read up to the end of the request head; only the request line
    matters. Bounded read so a misbehaving client cannot hold the

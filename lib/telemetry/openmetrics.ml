@@ -19,6 +19,11 @@ let ctr_last = Array.make Event.count 0
 let hbk_base = Array.make (Event.span_count * histogram_buckets) 0
 let hbk_last = Array.make (Event.span_count * histogram_buckets) 0
 
+(* Flight-recorder loss counters ([Trace.clear] between bench sections
+   would otherwise make them regress): slot 0 overwritten, 1 torn. *)
+let trc_base = Array.make 2 0
+let trc_last = Array.make 2 0
+
 let monotone base last i raw =
   if raw < last.(i) then base.(i) <- base.(i) + last.(i);
   last.(i) <- raw;
@@ -33,7 +38,9 @@ let reset_accumulators () =
   Array.fill ctr_base 0 Event.count 0;
   Array.fill ctr_last 0 Event.count 0;
   Array.fill hbk_base 0 (Array.length hbk_base) 0;
-  Array.fill hbk_last 0 (Array.length hbk_last) 0
+  Array.fill hbk_last 0 (Array.length hbk_last) 0;
+  Array.fill trc_base 0 2 0;
+  Array.fill trc_last 0 2 0
 [@@nbhash.plain_ok
   "test-only reset, called while no scraper is running; the accumulators \
    are owned by the single scraping thread"]
@@ -96,6 +103,7 @@ let counter_help ev =
   | Server_conn -> "Client connections accepted by the KV server"
   | Server_request -> "Request frames answered by the KV server"
   | Server_error -> "Protocol errors answered by the KV server"
+  | Server_slow -> "Requests captured into the slow-request log"
 
 let span_help s =
   match (s : Event.span) with
@@ -105,6 +113,11 @@ let span_help s =
   | Sweep_helpers -> "Distinct domains that claimed chunks during one migration"
   | Server_span -> "KV server request service time (read to reply), nanoseconds"
   | Probe_len -> "Linear-probe distances at flat-FSet insert/remove linearization"
+  | Server_read_span -> "KV server frame-read stage, nanoseconds"
+  | Server_decode_span -> "KV server request-decode stage, nanoseconds"
+  | Server_shard_span -> "KV server shard-operation stage, nanoseconds"
+  | Server_help_span -> "Migration help performed inside one request, nanoseconds"
+  | Server_write_span -> "KV server reply-write stage, nanoseconds"
 
 let render_counters b probe =
   List.iter
@@ -161,6 +174,92 @@ let render_histograms b probe =
       Buffer.add_string b (Printf.sprintf "%s_count %d\n" family !cum))
     Event.all_spans
 
+(* Labeled histogram families (the per-opcode server stage series).
+   Unlike probe histograms these are never reset by the bench runner,
+   so the raw counts are already monotone and need no accumulator.
+   The [le] bound goes last in the label set, after the identifying
+   labels, which is also what keeps the bucket lines distinct across
+   the entries of one family. *)
+let render_labeled b =
+  let entries = Labeled.read_all () in
+  let order = ref [] in
+  let by_family : (string, Labeled.entry list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (e : Labeled.entry) ->
+      match Hashtbl.find_opt by_family e.family with
+      | Some l -> l := e :: !l
+      | None ->
+        Hashtbl.add by_family e.family (ref [ e ]);
+        order := e.family :: !order)
+    entries;
+  List.iter
+    (fun family ->
+      let group = List.rev !(Hashtbl.find by_family family) in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" family);
+      (match group with
+      | { Labeled.help; _ } :: _ when help <> "" ->
+        Buffer.add_string b
+          (Printf.sprintf "# HELP %s %s\n" family (escape_help help))
+      | _ -> ());
+      List.iter
+        (fun (e : Labeled.entry) ->
+          let labels = label_set e.labels in
+          let with_le le =
+            match e.labels with
+            | [] -> Printf.sprintf "{le=\"%s\"}" le
+            | _ ->
+              Printf.sprintf "%s,le=\"%s\"}"
+                (String.sub labels 0 (String.length labels - 1))
+                le
+          in
+          let counts = Histogram.counts e.hist in
+          let last_nonempty = ref (-1) in
+          Array.iteri (fun i c -> if c > 0 then last_nonempty := i) counts;
+          let cum = ref 0 in
+          let sum = ref 0. in
+          for i = 0 to !last_nonempty do
+            cum := !cum + counts.(i);
+            sum := !sum +. (float_of_int counts.(i) *. Histogram.representative i);
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" family
+                 (with_le (number (Float.ldexp 1. (i + 1))))
+                 !cum)
+          done;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket%s %d\n" family (with_le "+Inf") !cum);
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %s\n" family labels (number !sum));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" family labels !cum))
+        group)
+    (List.rev !order)
+
+(* Flight-recorder loss: records lost to ring wrap-around and records
+   that failed to decode, as one labeled counter family. With no
+   trace installed the last readings hold, like the probe counters. *)
+let render_trace_drops b =
+  let ov_raw, torn_raw =
+    match Trace.active () with
+    | None -> (trc_last.(0), trc_last.(1))
+    | Some tr ->
+      let d = Trace.drops tr in
+      (d.Trace.overwritten, d.Trace.torn)
+  in
+  let ov = monotone trc_base trc_last 0 ov_raw in
+  let torn = monotone trc_base trc_last 1 torn_raw in
+  let family = "nbhash_trace_dropped" in
+  Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" family);
+  Buffer.add_string b
+    (Printf.sprintf
+       "# HELP %s Flight-recorder records lost to overwrite or torn writes\n"
+       family);
+  Buffer.add_string b
+    (Printf.sprintf "%s_total{reason=\"overwritten\"} %d\n" family ov);
+  Buffer.add_string b
+    (Printf.sprintf "%s_total{reason=\"torn\"} %d\n" family torn)
+
 let render_gauges b =
   let samples = Gauge.read_all () in
   (* Group by family (all samples of a family must be contiguous),
@@ -199,6 +298,8 @@ let render () =
   let probe = Global.get () in
   render_counters b probe;
   render_histograms b probe;
+  render_labeled b;
+  render_trace_drops b;
   render_gauges b;
   Buffer.add_string b "# EOF\n";
   Buffer.contents b

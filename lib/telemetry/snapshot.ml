@@ -56,9 +56,12 @@ let json_summary (s : Nbhash_util.Stats.summary) =
 
 (* [meta], when given, is a ready-made JSON object (see Meta.json) and
    leads the document so scraped snapshots carry the same provenance
-   block as bench artifacts. Omitting it keeps the historical
+   block as bench artifacts. [families] (the labeled-histogram block,
+   see Labeled.families_json) and [trace] (the flight-recorder loss
+   block, see Metrics_server) are likewise pre-rendered JSON values
+   appended after the spans. Omitting everything keeps the historical
    two-key shape exactly. *)
-let to_json ?meta t =
+let to_json ?meta ?families ?trace t =
   let counters =
     String.concat ","
       (List.map
@@ -71,8 +74,18 @@ let to_json ?meta t =
          (fun (name, s) -> Printf.sprintf "\"%s\":%s" name (json_summary s))
          t.spans)
   in
-  match meta with
-  | None -> Printf.sprintf "{\"counters\":{%s},\"spans\":{%s}}" counters spans
-  | Some m ->
-    Printf.sprintf "{\"meta\":%s,\"counters\":{%s},\"spans\":{%s}}" m counters
-      spans
+  let b = Buffer.create 512 in
+  Buffer.add_char b '{';
+  (match meta with
+  | None -> ()
+  | Some m -> Buffer.add_string b (Printf.sprintf "\"meta\":%s," m));
+  Buffer.add_string b
+    (Printf.sprintf "\"counters\":{%s},\"spans\":{%s}" counters spans);
+  (match families with
+  | None -> ()
+  | Some f -> Buffer.add_string b (Printf.sprintf ",\"families\":%s" f));
+  (match trace with
+  | None -> ()
+  | Some tr -> Buffer.add_string b (Printf.sprintf ",\"trace\":%s" tr));
+  Buffer.add_char b '}';
+  Buffer.contents b

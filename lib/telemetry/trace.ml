@@ -169,6 +169,40 @@ let decode_code code =
 
 let written t = Array.fold_left (fun acc lane -> acc + lane.pos) 0 t.lanes
 
+(* ------------------------------------------------------------------ *)
+(* Loss accounting. Overwrite-oldest is silent on the write path, so a
+   "clean" Perfetto export can be missing events; these counts make
+   the loss visible. Overwritten is exact by construction (total
+   writes minus ring capacity); torn is the number of surviving slots
+   whose code word does not decode — a record caught mid-write by a
+   reader or clobbered by a lane-sharing domain. Both are computed at
+   read time from the same unsynchronized snapshot the decoder uses,
+   so they carry the recorder's usual best-effort caveat. *)
+
+type drops = { overwritten : int; torn : int }
+
+(* [(lane_index, overwritten, torn)] per lane. *)
+let lane_drops t =
+  Array.mapi
+    (fun i lane ->
+      let total = lane.pos in
+      let overwritten = max 0 (total - t.capacity) in
+      let n = min total t.capacity in
+      let first = total - n in
+      let torn = ref 0 in
+      for j = 0 to n - 1 do
+        let base = ((first + j) land t.cap_mask) * words_per_record in
+        if decode_code lane.buf.(base + 1) = None then incr torn
+      done;
+      (i, overwritten, !torn))
+    t.lanes
+
+let drops t =
+  Array.fold_left
+    (fun acc (_, o, tn) ->
+      { overwritten = acc.overwritten + o; torn = acc.torn + tn })
+    { overwritten = 0; torn = 0 } (lane_drops t)
+
 (* Newest surviving records of one lane, oldest first. *)
 let lane_records t lane =
   let total = lane.pos in

@@ -80,6 +80,21 @@ val records : t -> record array
 val written : t -> int
 (** Total records ever written (including overwritten ones). *)
 
+type drops = { overwritten : int; torn : int }
+
+val drops : t -> drops
+(** Loss accounting across all lanes: [overwritten] is the number of
+    records lost to ring wrap-around (total writes minus surviving
+    capacity, exact); [torn] is the number of surviving slots whose
+    code word does not decode — a record caught mid-write or clobbered
+    by a lane-sharing domain. Computed from the same unsynchronized
+    snapshot the decoder reads, so best-effort like everything else
+    here; [clear] resets both (exporters that need monotone series
+    must accumulate across resets themselves). *)
+
+val lane_drops : t -> (int * int * int) array
+(** Per-lane [(lane_index, overwritten, torn)] breakdown of [drops]. *)
+
 val lane_last_ts : t -> (int * int) array
 (** [(lane_index, ts_ns)] of each non-empty lane's newest record — the
     watchdog's per-domain liveness signal. *)

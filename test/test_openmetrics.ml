@@ -314,7 +314,7 @@ let test_endpoint () =
             | Ok doc ->
               Alcotest.(check (option (list string)))
                 "snapshot top-level keys"
-                (Some [ "meta"; "counters"; "spans" ])
+                (Some [ "meta"; "counters"; "spans"; "families"; "trace" ])
                 (Json.keys doc);
               Alcotest.(check (option (list string)))
                 "meta keys"
@@ -332,6 +332,133 @@ let test_endpoint () =
           | Ok (code, _) -> Alcotest.failf "unknown route answered %d" code
           | Error msg -> Alcotest.failf "unknown route failed: %s" msg);
           table.Factory.close ()))
+
+(* --- labeled histogram families --- *)
+
+(* Registration is global and permanent (like leaked table gauges,
+   harmless by design), so the test family gets a unique-ish name and
+   later scrapes simply keep rendering it. *)
+let test_labeled_families () =
+  with_probe (fun () ->
+      let module L = Nbhash_telemetry.Labeled in
+      let h1 =
+        L.histogram ~family:"nbhash_test_stage_ns" ~help:"test stage family"
+          ~labels:[ ("op", "get"); ("stage", "read") ]
+          ()
+      in
+      let h2 =
+        L.histogram ~family:"nbhash_test_stage_ns"
+          ~labels:[ ("op", "put"); ("stage", "read") ]
+          ()
+      in
+      (* Same family+labels is get-or-create, not a duplicate. *)
+      let h1' =
+        L.histogram ~family:"nbhash_test_stage_ns"
+          ~labels:[ ("op", "get"); ("stage", "read") ]
+          ()
+      in
+      Alcotest.(check bool) "get-or-create dedupes" true (h1 == h1');
+      Nbhash_telemetry.Histogram.observe h1 1_000;
+      Nbhash_telemetry.Histogram.observe h1 100_000;
+      Nbhash_telemetry.Histogram.observe h2 5_000;
+      let body = Om.render () in
+      let families = parse_families body in
+      (match List.assoc_opt "nbhash_test_stage_ns" families with
+      | None -> Alcotest.fail "labeled family missing from the scrape"
+      | Some f ->
+        Alcotest.(check string) "labeled family kind" "histogram" f.kind;
+        let has sub l =
+          let n = String.length sub in
+          let rec go i =
+            i + n <= String.length l && (String.sub l i n = sub || go (i + 1))
+          in
+          go 0
+        in
+        let get_buckets =
+          List.filter
+            (fun (l, _) ->
+              has "nbhash_test_stage_ns_bucket{" l && has "op=\"get\"" l)
+            f.samples
+        in
+        Alcotest.(check bool) "op=get buckets present" true
+          (get_buckets <> []);
+        (* le is the last label, after the identity labels, so the
+           le-first cumulativity scanners skip labeled buckets. *)
+        List.iter
+          (fun (l, _) ->
+            if not (has ",le=\"" l) then
+              Alcotest.failf "labeled bucket without trailing le: %s" l)
+          get_buckets;
+        (* _count{op="get",...} sums that entry's observations only. *)
+        let count l =
+          List.assoc_opt l
+            (List.filter_map
+               (fun (line, v) ->
+                 match String.index_opt line ' ' with
+                 | Some i -> Some (String.sub line 0 i, v)
+                 | None -> None)
+               f.samples)
+        in
+        Alcotest.(check (option (float 0.)))
+          "per-entry count" (Some 2.)
+          (count
+             "nbhash_test_stage_ns_count{op=\"get\",stage=\"read\"}");
+        Alcotest.(check (option (float 0.)))
+          "other entry count" (Some 1.)
+          (count
+             "nbhash_test_stage_ns_count{op=\"put\",stage=\"read\"}"));
+      (* The flight-recorder loss counter renders as a labeled counter
+         family, one sample per reason, even with no trace installed. *)
+      match List.assoc_opt "nbhash_trace_dropped" families with
+      | None -> Alcotest.fail "nbhash_trace_dropped family missing"
+      | Some f ->
+        Alcotest.(check string) "trace-dropped kind" "counter" f.kind;
+        Alcotest.(check int) "one sample per reason" 2
+          (List.length f.samples))
+
+(* --- the route registry --- *)
+
+let test_route_registry () =
+  let hits = ref 0 in
+  let reg =
+    Server.register_route ~path:"/test-route" (fun () ->
+        incr hits;
+        (200, "text/plain", "hello from the test route\n"))
+  in
+  let boom =
+    Server.register_route ~path:"/test-boom" (fun () -> failwith "boom")
+  in
+  let server = Server.start ~port:0 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Server.unregister_route reg;
+      Server.unregister_route boom)
+    (fun () ->
+      let port = Server.port server in
+      (match Server.http_get ~port "/test-route" with
+      | Ok (200, body) ->
+        Alcotest.(check string) "routed body" "hello from the test route\n"
+          body
+      | Ok (code, _) -> Alcotest.failf "/test-route answered %d" code
+      | Error msg -> Alcotest.failf "/test-route failed: %s" msg);
+      Alcotest.(check int) "handler ran once" 1 !hits;
+      (* A raising handler is a 500, not a dead server. *)
+      (match Server.http_get ~port "/test-boom" with
+      | Ok (500, _) -> ()
+      | Ok (code, _) -> Alcotest.failf "/test-boom answered %d" code
+      | Error msg -> Alcotest.failf "/test-boom failed: %s" msg);
+      (* Unregistration brings back 404, and built-ins still win. *)
+      Server.unregister_route reg;
+      (match Server.http_get ~port "/test-route" with
+      | Ok (404, _) -> ()
+      | Ok (code, _) ->
+        Alcotest.failf "unregistered route answered %d" code
+      | Error msg -> Alcotest.failf "unregistered route failed: %s" msg);
+      match Server.http_get ~port "/health" with
+      | Ok (200, _) -> ()
+      | Ok (code, _) -> Alcotest.failf "/health answered %d" code
+      | Error msg -> Alcotest.failf "/health failed: %s" msg)
 
 (* --- gauge registry --- *)
 
@@ -404,6 +531,9 @@ let suite =
         Alcotest.test_case "monotone across probe reset" `Quick
           test_monotone_across_reset;
         Alcotest.test_case "live endpoint under churn" `Quick test_endpoint;
+        Alcotest.test_case "labeled histogram families" `Quick
+          test_labeled_families;
+        Alcotest.test_case "route registry" `Quick test_route_registry;
         Alcotest.test_case "gauge registry" `Quick test_gauge_registry;
         Alcotest.test_case "disabled path allocation-free" `Quick
           test_disabled_path_no_alloc;

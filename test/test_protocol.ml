@@ -19,7 +19,9 @@ let request_pp fmt (r : P.request) =
     | Del k -> Printf.sprintf "Del %d" k
     | Ping -> "Ping"
     | Drain -> "Drain"
-    | Stat -> "Stat")
+    | Stat -> "Stat"
+    | Hello -> "Hello"
+    | Force_resize s -> Printf.sprintf "Force_resize %d" s)
 
 let request_t = Alcotest.testable request_pp request_eq
 
@@ -58,6 +60,8 @@ let gen_request =
         return P.Ping;
         return P.Drain;
         return P.Stat;
+        return P.Hello;
+        map (fun s -> P.Force_resize s) gen_key;
       ])
 
 let gen_response =
@@ -77,6 +81,36 @@ let prop_request_roundtrip =
 let prop_response_roundtrip =
   QCheck2.Test.make ~name:"response codec round-trips" ~count:500 gen_response
     (fun r -> P.response_of_payload (P.response_to_payload r) = Result.Ok r)
+
+(* v2 framing: the spliced id survives the wire in both directions and
+   the v1 request underneath decodes unchanged. *)
+let prop_v2_roundtrip =
+  QCheck2.Test.make ~name:"v2 id splice round-trips" ~count:200
+    QCheck2.Gen.(
+      triple gen_request gen_response
+        (map (fun i -> i land 0xFFFFFFFF) nat))
+    (fun (req, resp, id) ->
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close a with Unix.Unix_error _ -> ());
+          try Unix.close b with Unix.Unix_error _ -> ())
+        (fun () ->
+          P.write_request_v2 a ~id req;
+          let req_ok =
+            match P.read_frame b with
+            | Result.Ok (Some payload) ->
+              P.v2_frame_id payload = id
+              && P.request_of_payload_v2 payload = Result.Ok req
+            | _ -> false
+          in
+          P.write_response_v2 b ~id resp;
+          let resp_ok =
+            match P.read_response_v2 a with
+            | Result.Ok (rid, r) -> rid = id && r = resp
+            | Result.Error _ -> false
+          in
+          req_ok && resp_ok))
 
 (* --- codec edges --- *)
 
@@ -259,15 +293,80 @@ let test_malformed_against_server () =
       Unix.close fd;
       Backend.check_invariants (Server.backend server))
 
+(* --- revision 2 negotiation and id echo against a live server --- *)
+
+let test_v2_against_server () =
+  with_server ~kind:Backend.Lockfree (fun server ->
+      let port = Server.port server in
+      let fd = client port in
+      (* A PING with the wrong 1-byte body is still the v1 payload
+         error, not a negotiation. *)
+      P.write_frame fd "\x04\x03";
+      expect_err "ping with non-hello body" fd;
+      (* HELLO switches this connection to revision 2. *)
+      P.write_request fd P.Hello;
+      expect "hello ack" fd (Result.Ok (P.Value P.hello_ack));
+      (* v2 frames echo their id, on success... *)
+      P.write_request_v2 fd ~id:0xDEADBEEF (P.Put (3, "v"));
+      (match P.read_response_v2 fd with
+      | Result.Ok (id, P.Ok) ->
+        Alcotest.(check int) "put echoes id" 0xDEADBEEF id
+      | Result.Ok (_, r) ->
+        Alcotest.fail (Format.asprintf "put answered %a" response_pp r)
+      | Result.Error m -> Alcotest.fail ("put io error: " ^ m));
+      P.write_request_v2 fd ~id:7 (P.Get 3);
+      (match P.read_response_v2 fd with
+      | Result.Ok (7, P.Value "v") -> ()
+      | Result.Ok (id, r) ->
+        Alcotest.fail
+          (Format.asprintf "get answered id=%d %a" id response_pp r)
+      | Result.Error m -> Alcotest.fail ("get io error: " ^ m));
+      (* ...and on payload errors: a bad opcode inside a v2 frame still
+         echoes the id so the client can join the ERR to its request. *)
+      P.write_frame fd "\x7f\x00\x00\x00\x2ajunk";
+      (match P.read_response_v2 fd with
+      | Result.Ok (0x2a, P.Err _) -> ()
+      | Result.Ok (id, r) ->
+        Alcotest.fail
+          (Format.asprintf "bad opcode answered id=%d %a" id response_pp r)
+      | Result.Error m -> Alcotest.fail ("bad opcode io error: " ^ m));
+      Unix.close fd;
+      (* A second connection is still v1: ids are per connection. *)
+      let fd = client port in
+      P.write_request fd (P.Get 3);
+      expect "v1 connection unaffected" fd (Result.Ok (P.Value "v"));
+      Unix.close fd;
+      Backend.check_invariants (Server.backend server))
+
+let test_force_resize_against_server () =
+  with_server ~kind:Backend.Lockfree (fun server ->
+      let port = Server.port server in
+      let fd = client port in
+      P.write_request fd (P.Force_resize 99);
+      expect_err "out-of-range shard rejected" fd;
+      P.write_request fd (P.Put (11, "x"));
+      expect "put before resize" fd (Result.Ok P.Ok);
+      P.write_request fd (P.Force_resize 0);
+      expect "force resize shard 0" fd (Result.Ok P.Ok);
+      P.write_request fd (P.Get 11);
+      expect "get across resize" fd (Result.Ok (P.Value "x"));
+      Unix.close fd;
+      Backend.check_invariants (Server.backend server))
+
 let suite =
   [
     ( "server protocol",
       [
         QCheck_alcotest.to_alcotest prop_request_roundtrip;
         QCheck_alcotest.to_alcotest prop_response_roundtrip;
+        QCheck_alcotest.to_alcotest prop_v2_roundtrip;
         Alcotest.test_case "codec edges" `Quick test_codec_edges;
         Alcotest.test_case "framed io" `Quick test_framed_io;
         Alcotest.test_case "malformed frames, live server" `Quick
           test_malformed_against_server;
+        Alcotest.test_case "v2 negotiation and id echo" `Quick
+          test_v2_against_server;
+        Alcotest.test_case "force-resize opcode" `Quick
+          test_force_resize_against_server;
       ] );
   ]

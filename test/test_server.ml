@@ -257,6 +257,193 @@ let test_stop_unblocks_idle_connection () =
   | Result.Ok _ -> Alcotest.fail "served a response after stop");
   Unix.close fd
 
+(* --- staged latency attribution --- *)
+
+module Slowlog = Nbhash_server.Slowlog
+module Stages = Nbhash_server.Stages
+
+(* Stage attribution needs a recording ambient probe; scope it so the
+   rest of the binary keeps the noop default. *)
+let with_recording f =
+  Fun.protect
+    ~finally:(fun () ->
+      Nbhash_telemetry.Global.install Nbhash_telemetry.Probe.noop)
+    (fun () ->
+      Nbhash_telemetry.Global.install (Nbhash_telemetry.Probe.recording ());
+      f ())
+
+(* A capture lands after its reply is written, so a client can observe
+   its own response before the worker has noted the request; poll
+   briefly instead of asserting on the instant count. *)
+let wait_captured slow n =
+  let deadline = Unix.gettimeofday () +. 5. in
+  while Slowlog.captured slow < n && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done
+
+(* Adjacent stages share boundary timestamps, so the stage sum equals
+   the total exactly — not within tolerance. A zero threshold captures
+   every attributed request, which makes the slow log the test's
+   window into per-request stage values. *)
+let test_staged_attribution () =
+  with_recording (fun () ->
+      let server =
+        Server.start
+          ~config:
+            {
+              Server.default_config with
+              workers = 1;
+              slow_threshold_ns = Some 0;
+            }
+          ()
+      in
+      let fd = client (Server.port server) in
+      (match rpc fd (P.Put (1, "v")) with
+      | P.Ok -> ()
+      | _ -> Alcotest.fail "put");
+      (match rpc fd (P.Get 1) with
+      | P.Value "v" -> ()
+      | _ -> Alcotest.fail "get");
+      (match rpc fd (P.Del 1) with
+      | P.Ok -> ()
+      | _ -> Alcotest.fail "del");
+      Unix.close fd;
+      let slow = Server.slowlog server in
+      wait_captured slow 3;
+      let entries = Slowlog.entries slow in
+      Alcotest.(check bool) "threshold 0 captured the requests" true
+        (List.length entries >= 3);
+      List.iter
+        (fun (e : Slowlog.entry) ->
+          Alcotest.(check int)
+            (Printf.sprintf "#%d %s: read+decode+shard+write = total" e.seq
+               e.op)
+            e.total_ns
+            (e.read_ns + e.decode_ns + e.shard_ns + e.write_ns);
+          Alcotest.(check bool)
+            (Printf.sprintf "#%d help within the shard stage" e.seq)
+            true
+            (e.help_ns >= 0 && e.help_ns <= e.shard_ns);
+          Alcotest.(check bool)
+            (Printf.sprintf "#%d positive total" e.seq)
+            true (e.total_ns > 0))
+        entries;
+      let ops = List.map (fun (e : Slowlog.entry) -> e.op) entries in
+      List.iter
+        (fun op ->
+          Alcotest.(check bool) (op ^ " captured") true (List.mem op ops))
+        [ "get"; "put"; "del" ];
+      (* The JSON the /slow.json route serves parses and has the
+         envelope the CLI renders. *)
+      (match J.parse (Slowlog.to_json slow) with
+      | Result.Error msg -> Alcotest.fail ("slow JSON unparsable: " ^ msg)
+      | Result.Ok doc ->
+        Alcotest.(check (option (list string)))
+          "slow JSON keys"
+          (Some [ "threshold_ns"; "captured"; "capacity"; "entries" ])
+          (J.keys doc);
+        match Option.bind (J.member "entries" doc) J.to_list with
+        | Some (e :: _) ->
+          List.iter
+            (fun k ->
+              if J.member k e = None then
+                Alcotest.failf "slow entry lacks %s" k)
+            [
+              "seq"; "op"; "key"; "shard"; "total_ns"; "read_ns"; "decode_ns";
+              "shard_ns"; "help_ns"; "write_ns"; "threshold_ns"; "view";
+            ]
+        | _ -> Alcotest.fail "slow JSON has no entries");
+      Server.stop server)
+
+(* Stall injection: one shard, a sweep chunk big enough to migrate the
+   whole table in one claim, a forced resize over the wire — the next
+   request does the entire migration inside its shard stage, and the
+   capture attributes that time to help_ns. *)
+let test_stall_capture () =
+  with_recording (fun () ->
+      let policy =
+        {
+          Backend.default_policy with
+          migration =
+            { Nbhash.Policy.default_migration with chunk = 65536 };
+        }
+      in
+      let server =
+        Server.start
+          ~config:
+            {
+              Server.default_config with
+              shards = 1;
+              workers = 1;
+              policy = Some policy;
+              slow_threshold_ns = Some 0;
+            }
+          ()
+      in
+      let fd = client (Server.port server) in
+      for k = 0 to 8191 do
+        match rpc fd (P.Put (k, "v")) with
+        | P.Ok -> ()
+        | _ -> Alcotest.fail "prefill put"
+      done;
+      (match rpc fd (P.Force_resize 0) with
+      | P.Ok -> ()
+      | _ -> Alcotest.fail "force resize");
+      (match rpc fd (P.Put (100_000, "w")) with
+      | P.Ok -> ()
+      | _ -> Alcotest.fail "stalled put");
+      Unix.close fd;
+      wait_captured (Server.slowlog server) 8194;
+      let entries = Slowlog.entries (Server.slowlog server) in
+      let helped =
+        List.filter (fun (e : Slowlog.entry) -> e.help_ns > 0) entries
+      in
+      Alcotest.(check bool) "some capture carries helping time" true
+        (helped <> []);
+      (* The most-helped request attributes at least half its overage
+         (threshold 0: its whole duration) to the migration it drove. *)
+      let worst =
+        List.fold_left
+          (fun (a : Slowlog.entry) (e : Slowlog.entry) ->
+            if e.help_ns > a.help_ns then e else a)
+          (List.hd helped) helped
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "help dominates the stall (help %dns, total %dns, threshold %dns)"
+           worst.help_ns worst.total_ns worst.threshold_ns)
+        true
+        (2 * worst.help_ns >= worst.total_ns - worst.threshold_ns);
+      Alcotest.(check bool) "the capture names the owning shard" true
+        (worst.shard = 0 && worst.view <> None);
+      Server.stop server;
+      Backend.check_invariants (Server.backend server))
+
+(* With the probe disabled, the staged marks are branches on a cached
+   flag — no clock reads, no allocation. *)
+let test_staged_marks_disabled_no_alloc () =
+  Nbhash_telemetry.Trace.uninstall ();
+  Nbhash_telemetry.Global.install Nbhash_telemetry.Probe.noop;
+  let c = Stages.make () in
+  let mark () =
+    Stages.frame_start c;
+    Stages.read_done c ~t_first:0;
+    Stages.decode_done c;
+    Stages.shard_start c;
+    Stages.shard_done c;
+    Stages.finish c ~op:Stages.Get
+  in
+  for _ = 1 to 1_000 do
+    mark ()
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    mark ()
+  done;
+  let delta = Gc.minor_words () -. before in
+  if delta > 256. then
+    Alcotest.failf "disabled staged marks allocated %.0f minor words" delta
+
 (* --- load generator --- *)
 
 let test_loadgen () =
@@ -287,6 +474,27 @@ let test_loadgen () =
     && report.Loadgen.p99_ns <= report.Loadgen.p999_ns);
   Alcotest.(check bool) "impl from STAT" true
     (report.Loadgen.impl = "server/lockfreex2");
+  (* Every connection negotiated revision 2 against our own server,
+     and every reply echoed the right id. *)
+  Alcotest.(check int) "all connections on rev 2" 2 report.Loadgen.v2_conns;
+  Alcotest.(check int) "no id mismatches" 0 report.Loadgen.id_mismatches;
+  (* Per-opcode splits cover the traffic. *)
+  Alcotest.(check (list string))
+    "per-op rows" [ "get"; "put"; "del" ]
+    (List.map (fun (o : Loadgen.op_stats) -> o.Loadgen.op)
+       report.Loadgen.per_op);
+  Alcotest.(check int) "per-op sent sums to sent" report.Loadgen.sent
+    (List.fold_left
+       (fun acc (o : Loadgen.op_stats) -> acc + o.Loadgen.op_sent)
+       0 report.Loadgen.per_op);
+  List.iter
+    (fun (o : Loadgen.op_stats) ->
+      if o.Loadgen.op_sent > 0 then
+        Alcotest.(check bool)
+          (o.Loadgen.op ^ " percentiles ordered") true
+          (o.Loadgen.op_p50_ns <= o.Loadgen.op_p99_ns
+          && o.Loadgen.op_p99_ns <= o.Loadgen.op_p999_ns))
+    report.Loadgen.per_op;
   (* The bench-v2 rendering parses and carries the identity fields
      bench_compare keys on, plus a positive throughput. *)
   (match J.parse (Loadgen.to_bench_json report) with
@@ -313,7 +521,11 @@ let test_loadgen () =
         with
         | Some _ -> ()
         | None -> Alcotest.fail ("params lack " ^ name))
-      [ "workers"; "key_range"; "lookup_ratio"; "duration"; "p99_ns"; "aborted" ]);
+      [
+        "workers"; "key_range"; "lookup_ratio"; "duration"; "p99_ns";
+        "aborted"; "proto"; "v2_conns"; "id_mismatches"; "get_p999_ns";
+        "put_p999_ns"; "del_p999_ns"; "get_sent";
+      ]);
   Server.stop server;
   Backend.check_invariants (Server.backend server)
 
@@ -338,5 +550,11 @@ let suite =
           test_stop_unblocks_idle_connection;
         Alcotest.test_case "open-loop loadgen and bench-v2 report" `Quick
           test_loadgen;
+        Alcotest.test_case "staged spans: sum equals total, captures land"
+          `Quick test_staged_attribution;
+        Alcotest.test_case "forced stall attributed to help time" `Quick
+          test_stall_capture;
+        Alcotest.test_case "disabled staged marks allocate nothing" `Quick
+          test_staged_marks_disabled_no_alloc;
       ] );
   ]

@@ -58,6 +58,32 @@ let test_clear () =
       Alcotest.(check int) "usable after clear" 1
         (Array.length (Trace.records tr)))
 
+(* --- loss accounting --- *)
+
+(* Overwrite-oldest is silent in the ring itself; [drops] makes it
+   countable: everything written past capacity is an overwrite, and a
+   clear resets the account along with the lanes. *)
+let test_drops () =
+  with_trace ~lanes:1 ~capacity:8 (fun tr ->
+      Alcotest.(check bool) "fresh ring drops nothing" true
+        (let d = Trace.drops tr in
+         d.Trace.overwritten = 0 && d.Trace.torn = 0);
+      for i = 0 to 19 do
+        Trace.instant Event.Cas_retry i
+      done;
+      let d = Trace.drops tr in
+      Alcotest.(check int) "overwritten = written - capacity" 12
+        d.Trace.overwritten;
+      Alcotest.(check int) "single-writer lane tears nothing" 0 d.Trace.torn;
+      (* The per-lane breakdown sums to the aggregate. *)
+      let by_lane = Trace.lane_drops tr in
+      Alcotest.(check int) "lane sum matches"
+        d.Trace.overwritten
+        (Array.fold_left (fun acc (_, o, _) -> acc + o) 0 by_lane);
+      Trace.clear tr;
+      let d = Trace.drops tr in
+      Alcotest.(check int) "clear resets the account" 0 d.Trace.overwritten)
+
 (* --- multi-domain merge ordering --- *)
 
 let test_merge_ordering () =
@@ -292,6 +318,7 @@ let suite =
         Alcotest.test_case "record-code bands" `Quick test_code_bands;
         Alcotest.test_case "ring wrap-around" `Quick test_wraparound;
         Alcotest.test_case "clear" `Quick test_clear;
+        Alcotest.test_case "drop accounting" `Quick test_drops;
         Alcotest.test_case "multi-domain merge ordering" `Quick
           test_merge_ordering;
         Alcotest.test_case "disabled path allocates nothing" `Quick
