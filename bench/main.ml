@@ -15,6 +15,13 @@
      --serve PORT  expose /metrics, /snapshot.json, /health and
                    /trace.json over HTTP while the bench runs (implies
                    --telemetry; port 0 picks a free port)
+     --profile     install the contention profiler; print a ranked
+                   table of retry sites and false-sharing scores after
+                   the run (with --serve, /profile.json goes live)
+     --profile-out PATH  write the final quiescent contention profile
+                   as JSON (implies --profile; the per-site sums in it
+                   are cross-checked against the probe's cas_retry
+                   counter by CI)
 
    Throughputs are reported in operations per microsecond, as in the
    paper's charts. Absolute numbers are not comparable to the paper's
@@ -34,6 +41,8 @@ let telemetry = ref false
 let json_path = ref None
 let trace_path = ref None
 let serve_port = ref None
+let profile = ref false
+let profile_out = ref None
 
 (* --- machine-readable trajectory (--json) --- *)
 
@@ -104,6 +113,86 @@ let flush_telemetry () =
     telemetry_acc := [];
     print_endline "telemetry (measurement window):";
     Report.print_telemetry rows
+
+(* --- contention profile report (--profile) --- *)
+
+(* Printed once, after every chosen section: the profiler state at
+   this point covers the last measurement window (the Runner and the
+   churn arms reset it in lockstep with the probe). With
+   --profile-out, the same state is written as the /profile.json
+   document so CI can cross-check the per-site sums against the
+   probe's independently-counted cas_retry total at quiescence. *)
+let profile_report () =
+  match Nbhash_telemetry.Profile.active () with
+  | None -> ()
+  | Some p ->
+    let module Pr = Nbhash_telemetry.Profile in
+    let module Site = Nbhash_telemetry.Site in
+    Report.print_heading
+      "P: contention profile (last measurement window)";
+    let legacy, extra_sources =
+      match Nbhash_telemetry.Global.get () with
+      | Nbhash_telemetry.Probe.Noop -> (-1, [])
+      | Nbhash_telemetry.Probe.Recording r ->
+        ( Nbhash_telemetry.Counters.read r.Nbhash_telemetry.Probe.counters
+            Nbhash_telemetry.Event.Cas_retry,
+          [
+            ( "probe_counters",
+              1,
+              fun () ->
+                Nbhash_telemetry.Counters.lane_totals
+                  r.Nbhash_telemetry.Probe.counters );
+          ] )
+    in
+    let ranked =
+      List.filter (fun (id, _) -> Pr.retries p id > 0) (Site.all ())
+      |> List.sort (fun (a, _) (b, _) ->
+             compare (Pr.retries p b, a) (Pr.retries p a, b))
+    in
+    if ranked = [] then print_endline "no retries recorded"
+    else begin
+      let rows =
+        List.map
+          (fun (id, name) ->
+            let gap = Pr.gap_summary p id in
+            let g f =
+              match gap with
+              | None -> "-"
+              | Some s -> Printf.sprintf "%.1f" (f s /. 1e3)
+            in
+            [
+              name;
+              string_of_int (Pr.retries p id);
+              g (fun s -> s.Nbhash_util.Stats.median);
+              g (fun s -> s.Nbhash_util.Stats.p99);
+              string_of_int (Pr.alloc_words p id);
+            ])
+          ranked
+      in
+      Report.print_table
+        ~header:
+          [ "site"; "retries"; "gap p50 us"; "gap p99 us"; "alloc words" ]
+        ~rows
+    end;
+    Printf.printf "per-site total %d, probe cas_retry %s\n"
+      (Pr.total_retries p)
+      (if legacy < 0 then "(no probe)" else string_of_int legacy);
+    List.iter
+      (fun r ->
+        Printf.printf "false-sharing %-16s max ping-pong %.0f (%d lines)\n"
+          r.Pr.source r.Pr.max_score
+          (List.length r.Pr.lines))
+      (Pr.false_sharing p);
+    match !profile_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc
+            (Pr.json_body ~legacy_cas_retry:legacy ~extra_sources p));
+      Printf.printf "wrote contention profile to %s\n" path
 
 (* The dynamic tables run with resizing enabled, as in the paper; the
    SplitOrder baseline is presized for each experiment ("optimized its
@@ -727,6 +816,12 @@ let churn_bench () =
       if k land 1 = 0 then ignore (seed.Factory.ins k)
     done;
     if !telemetry then Nbhash_telemetry.Global.reset ();
+    (* Keep the profiler's per-site sums in lockstep with the probe's
+       cas_retry counter; they cover the same window or the CI
+       cross-check is meaningless. *)
+    (match Nbhash_telemetry.Profile.active () with
+    | Some p -> Nbhash_telemetry.Profile.reset p
+    | None -> ());
     let stop = Atomic.make false in
     let lats = Array.init workers (fun _ -> Array.make cap 0.) in
     let counts = Array.make workers 0 in
@@ -884,6 +979,15 @@ let () =
     | [ "--trace" ] ->
       prerr_endline "--trace requires a path";
       exit 1
+    | "--profile" :: rest ->
+      profile := true;
+      parse acc rest
+    | "--profile-out" :: path :: rest ->
+      profile_out := Some path;
+      parse acc rest
+    | [ "--profile-out" ] ->
+      prerr_endline "--profile-out requires a path";
+      exit 1
     | "--serve" :: port :: rest -> (
       match int_of_string_opt port with
       | Some p when p >= 0 && p < 65536 ->
@@ -901,8 +1005,14 @@ let () =
   if !smoke then full := false;
   if !json_path <> None then telemetry := true;
   if !serve_port <> None then telemetry := true;
+  if !profile_out <> None then profile := true;
+  (* The cross-check in the profile report needs the probe's own
+     cas_retry count alongside the per-site sums. *)
+  if !profile then telemetry := true;
   if !telemetry then
     Nbhash_telemetry.Global.install (Nbhash_telemetry.Probe.recording ());
+  if !profile then
+    Nbhash_telemetry.Profile.install (Nbhash_telemetry.Profile.create ());
   if !trace_path <> None then
     Nbhash_telemetry.Trace.install
       (Nbhash_telemetry.Trace.create ~lanes:64 ~capacity:(1 lsl 14) ());
@@ -940,6 +1050,7 @@ let () =
           (String.concat ", " (List.map fst sections));
         exit 1)
     chosen;
+  profile_report ();
   write_json ();
   write_trace ();
   Option.iter Nbhash_telemetry.Metrics_server.stop server

@@ -14,8 +14,9 @@
    `trace` runs one configuration under the flight recorder and writes
    a Perfetto-loadable Chrome trace (or summarizes a saved one with
    --from); `top` polls a /metrics endpoint (bench --serve) and
-   renders per-table gauges with counter rates; `list` names the
-   available implementations. *)
+   renders per-table gauges with counter rates plus the most contended
+   retry sites; `profile` fetches a server's /profile.json contention
+   report; `list` names the available implementations. *)
 
 open Cmdliner
 module Factory = Nbhash_workload.Factory
@@ -571,7 +572,56 @@ let render_top ~clear ~endpoint ~health ~interval ~prev samples =
              (if Float.is_finite rate then Printf.sprintf "%.1f" rate
               else "-")))
     counters;
-  prev := Some counters;
+  (* Contention: top retry sites from the labeled
+     nbhash_cas_retry_total family, ranked by retry rate since the
+     previous frame (by total on the first frame, before a rate
+     exists). *)
+  let site_totals =
+    List.filter_map
+      (fun (family, labels, value) ->
+        if family = "nbhash_cas_retry_total" then
+          Option.map
+            (fun s -> ("site:" ^ s, value))
+            (List.assoc_opt "site" labels)
+        else None)
+      samples
+  in
+  if site_totals <> [] then begin
+    let with_rate (name, value) =
+      let rate =
+        match !prev with
+        | None -> Float.nan
+        | Some old -> (
+          match List.assoc_opt name old with
+          | Some v -> (value -. v) /. interval
+          | None -> Float.nan)
+      in
+      (name, value, rate)
+    in
+    let key (_, total, rate) =
+      if Float.is_finite rate then (rate, total)
+      else (Float.neg_infinity, total)
+    in
+    let ranked =
+      List.map with_rate site_totals
+      |> List.sort (fun x y -> compare (key y) (key x))
+    in
+    Buffer.add_char b '\n';
+    Buffer.add_string b
+      (Printf.sprintf "%-28s %14s %12s\n" "CONTENDED SITE" "RETRIES"
+         "PER-SEC");
+    List.iteri
+      (fun i (name, total, rate) ->
+        if i < 5 && total > 0. then
+          Buffer.add_string b
+            (Printf.sprintf "%-28s %14.0f %12s\n"
+               (String.sub name 5 (String.length name - 5))
+               total
+               (if Float.is_finite rate then Printf.sprintf "%.1f" rate
+                else "-")))
+      ranked
+  end;
+  prev := Some (counters @ site_totals);
   print_string (Buffer.contents b);
   flush stdout
 
@@ -648,7 +698,8 @@ let write_port_file path port =
 
 let serve_cmd =
   let serve addr port backend shards workers metrics_port no_metrics port_file
-      metrics_port_file slow_threshold_us slow_capacity slow_log sweep_chunk =
+      metrics_port_file slow_threshold_us slow_capacity slow_log sweep_chunk
+      profile_alloc =
     let backend =
       match Nbhash_server.Backend.kind_of_string backend with
       | Some k -> k
@@ -681,6 +732,18 @@ let serve_cmd =
        these rings, so slow-request captures can attach a trace tail. *)
     Nbhash_telemetry.Trace.install
       (Nbhash_telemetry.Trace.create ~lanes:64 ~capacity:(1 lsl 14) ());
+    (* The contention profiler is resident too — /profile.json answers
+       404 without one. Allocation sampling stays off unless asked
+       for; the disabled path is allocation-free. *)
+    let profiler = Nbhash_telemetry.Profile.create () in
+    Nbhash_telemetry.Profile.install profiler;
+    if profile_alloc then begin
+      match Nbhash_telemetry.Profile.start_alloc profiler with
+      | Ok () -> print_endline "memprof allocation sampling enabled"
+      | Error reason ->
+        Printf.eprintf "warning: allocation sampling unavailable: %s\n%!"
+          reason
+    end;
     match
       let server =
         Server.start
@@ -798,12 +861,20 @@ let serve_cmd =
     in
     Arg.(value & opt (some int) None & info [ "sweep-chunk" ] ~docv:"N" ~doc)
   in
+  let profile_alloc_arg =
+    let doc =
+      "Enable Memprof allocation sampling attributed to retry sites \
+       (requires statmemprof; degrades to a warning where the runtime \
+       lacks it)."
+    in
+    Arg.(value & flag & info [ "profile-alloc" ] ~doc)
+  in
   let term =
     Term.(
       const serve $ addr_arg $ port_arg $ backend_arg $ shards_arg
       $ workers_arg $ metrics_port_arg $ no_metrics_arg $ port_file_arg
       $ metrics_port_file_arg $ slow_threshold_arg $ slow_capacity_arg
-      $ slow_log_arg $ sweep_chunk_arg)
+      $ slow_log_arg $ sweep_chunk_arg $ profile_alloc_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1089,6 +1160,162 @@ let slow_cmd =
        ~doc:"Show a KV server's tail-sampled slow-request captures.")
     term
 
+(* --- profile: fetch and render a server's contention profile --- *)
+
+let profile_cmd =
+  let profile host port json top_n =
+    let module MS = Nbhash_telemetry.Metrics_server in
+    let module J = Nbhash_util.Json in
+    match MS.http_get ~host ~port "/profile.json" with
+    | Error msg ->
+      Printf.eprintf "error: cannot fetch http://%s:%d/profile.json: %s\n" host
+        port msg;
+      exit 1
+    | Ok (404, _) ->
+      Printf.eprintf
+        "error: profiling is not active on http://%s:%d (start the server \
+         with a resident profiler, e.g. nbhash_cli serve)\n"
+        host port;
+      exit 1
+    | Ok (code, _) when code <> 200 ->
+      Printf.eprintf "error: http://%s:%d/profile.json answered %d\n" host
+        port code;
+      exit 1
+    | Ok (_, body) -> (
+      if json then print_string body
+      else
+        match J.parse body with
+        | Error msg ->
+          Printf.eprintf "error: cannot parse /profile.json: %s\n" msg;
+          exit 1
+        | Ok doc ->
+          let num name j = Option.bind (J.member name j) J.to_num in
+          let str name j = Option.bind (J.member name j) J.to_str in
+          let nf name j = Option.value ~default:Float.nan (num name j) in
+          let total = nf "total_retries" doc in
+          let legacy = nf "legacy_cas_retry" doc in
+          Printf.printf "total retries %.0f" total;
+          if legacy >= 0. then
+            if legacy = total then Printf.printf " (= probe cas_retry)"
+            else
+              Printf.printf " (probe cas_retry %.0f — in-flight drift %.0f)"
+                legacy (legacy -. total);
+          print_newline ();
+          (* Ranked site table; the server already sorts by retries. *)
+          let sites =
+            Option.value ~default:[]
+              (Option.bind (J.member "sites" doc) J.to_list)
+          in
+          let live =
+            List.filter
+              (fun s -> nf "retries" s > 0. || nf "alloc_words" s > 0.)
+              sites
+          in
+          if live = [] then print_endline "no contended sites"
+          else begin
+            Printf.printf "%-28s %10s %10s %10s %12s\n" "SITE" "RETRIES"
+              "GAP-P50us" "GAP-P99us" "ALLOC-WORDS";
+            List.iteri
+              (fun i s ->
+                if i < top_n then
+                  let gap name =
+                    match Option.bind (J.member "gap_ns" s) (J.member name) with
+                    | Some v ->
+                      Option.value ~default:Float.nan (J.to_num v) /. 1e3
+                    | None -> Float.nan
+                  in
+                  Printf.printf "%-28s %10.0f %10.1f %10.1f %12.0f\n"
+                    (Option.value ~default:"?" (str "name" s))
+                    (nf "retries" s) (gap "p50") (gap "p99")
+                    (nf "alloc_words" s))
+              live
+          end;
+          (* False-sharing report: one line per sampled source, plus
+             any cache line whose ping-pong score is nonzero. *)
+          (match Option.bind (J.member "false_sharing" doc) J.to_list with
+          | None | Some [] -> ()
+          | Some reports ->
+            print_newline ();
+            Printf.printf "%-20s %6s %14s %10s %10s\n" "FALSE-SHARING" "LINE"
+              "WRITES/S" "WRITERS" "PING-PONG";
+            List.iter
+              (fun r ->
+                let src = Option.value ~default:"?" (str "source" r) in
+                let lines =
+                  Option.value ~default:[]
+                    (Option.bind (J.member "lines" r) J.to_list)
+                in
+                let hot =
+                  List.filter (fun l -> nf "ping_pong" l > 0.) lines
+                in
+                if hot = [] then
+                  Printf.printf "%-20s %6s %14s %10s %10s\n" src "-" "-" "-"
+                    "0"
+                else
+                  List.iter
+                    (fun l ->
+                      Printf.printf "%-20s %6.0f %14.0f %10.0f %10.0f\n" src
+                        (nf "line" l) (nf "writes_per_s" l) (nf "writers" l)
+                        (nf "ping_pong" l))
+                    hot)
+              reports);
+          (match J.member "memprof" doc with
+          | Some m ->
+            Printf.printf "memprof: %s%s\n"
+              (Option.value ~default:"?" (str "state" m))
+              (match str "reason" m with
+              | Some r -> " (" ^ r ^ ")"
+              | None -> (
+                match num "sampling_rate" m with
+                | Some r -> Printf.sprintf " (rate %g)" r
+                | None -> ""))
+          | None -> ());
+          (* Registered views: the kv server publishes per-shard table
+             views; anything else is listed by name. *)
+          match Option.bind (J.member "views" doc) J.to_list with
+          | None | Some [] -> ()
+          | Some views ->
+            List.iter
+              (fun v ->
+                let vname = Option.value ~default:"?" (str "name" v) in
+                match Option.bind (J.member "view" v) J.to_list with
+                | Some entries ->
+                  Printf.printf "view %s:\n" vname;
+                  List.iter
+                    (fun e ->
+                      Printf.printf
+                        "  shard %.0f: buckets=%.0f cardinal=%.0f load=%.2f \
+                         depth=%.0f frozen=%.0f migrating=%s\n"
+                        (nf "shard" e) (nf "buckets" e) (nf "cardinal" e)
+                        (nf "load_factor" e) (nf "max_depth" e)
+                        (nf "frozen_buckets" e)
+                        (match J.member "migrating" e with
+                        | Some (J.Bool bv) -> string_of_bool bv
+                        | _ -> "?"))
+                    entries
+                | None -> Printf.printf "view %s: (opaque)\n" vname)
+              views)
+  in
+  let port_arg =
+    let doc = "Metrics/HTTP port of the server (the /profile.json endpoint)." in
+    Arg.(value & opt int 9464 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let json_arg =
+    let doc = "Dump the raw /profile.json body instead of pretty-printing." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let top_arg =
+    let doc = "Show at most $(docv) sites." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let term = Term.(const profile $ host_arg $ port_arg $ json_arg $ top_arg) in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Show a server's contention profile: ranked retry sites, \
+          false-sharing scores, allocation attribution.")
+    term
+
 let () =
   let doc = "dynamic-sized nonblocking hash table workbench" in
   let info = Cmd.info "nbhash_cli" ~doc in
@@ -1107,5 +1334,6 @@ let () =
             drain_cmd;
             force_resize_cmd;
             slow_cmd;
+            profile_cmd;
             list_cmd;
           ]))

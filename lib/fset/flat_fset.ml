@@ -49,6 +49,11 @@ module Atomic = Nbhash_util.Nb_atomic
 module Tm = Nbhash_telemetry.Global
 module Ev = Nbhash_telemetry.Event
 
+(* Profiler site ids for this file's CAS-retry loops (DESIGN.md 19). *)
+let site_seal = Nbhash_telemetry.Site.register "flat_fset/seal"
+let site_insert = Nbhash_telemetry.Site.register "flat_fset/insert"
+let site_remove = Nbhash_telemetry.Site.register "flat_fset/remove"
+
 (* The one-shot arbiter between freezing and compaction/growth
    migration. [Frozen] means the decision, not the completion: the set
    is frozen only once the seal sweep has latched every slot. *)
@@ -158,7 +163,7 @@ let help_seal n =
         if Atomic.compare_and_set n.slots.(idx) w (w lor seal_bit) then
           Atomic.incr n.sealed
         else begin
-          Tm.emit Ev.Cas_retry;
+          Tm.cas_retry site_seal;
           seal ()
         end
     in
@@ -276,7 +281,7 @@ and insert t n op =
         true
       end
       else begin
-        Tm.emit_arg Ev.Cas_retry op.key;
+        Tm.cas_retry site_insert;
         at_word idx d
       end
     else if w lor seal_bit = w_occ lor seal_bit then
@@ -345,7 +350,7 @@ and remove t n op =
           true
         end
         else begin
-          Tm.emit_arg Ev.Cas_retry op.key;
+          Tm.cas_retry site_remove;
           at_word idx d
         end
       else on_sealed ()

@@ -4,6 +4,15 @@ module Make (E : Elems.S) : Fset_intf.S = struct
   module Tm = Nbhash_telemetry.Global
   module Ev = Nbhash_telemetry.Event
 
+  (* One site per retry loop per representation; registration is
+     idempotent on the name, so re-instantiating the functor reuses
+     the first instance's ids. *)
+  let site_ins = Nbhash_telemetry.Site.register ("lf_fset(" ^ E.id ^ ")/ins")
+  let site_rem = Nbhash_telemetry.Site.register ("lf_fset(" ^ E.id ^ ")/rem")
+
+  let site_freeze =
+    Nbhash_telemetry.Site.register ("lf_fset(" ^ E.id ^ ")/freeze")
+
   type node = { elems : E.t; ok : bool }
   type t = node Atomic.t
   type op = { kind : Fset_intf.kind; key : int; mutable resp : bool }
@@ -35,7 +44,7 @@ module Make (E : Elems.S) : Fset_intf.S = struct
           true
         end
         else begin
-          Tm.emit_arg Ev.Cas_retry op.key;
+          Tm.cas_retry site_ins;
           invoke t op
         end
       | Fset_intf.Rem ->
@@ -47,7 +56,7 @@ module Make (E : Elems.S) : Fset_intf.S = struct
           true
         end
         else begin
-          Tm.emit_arg Ev.Cas_retry op.key;
+          Tm.cas_retry site_rem;
           invoke t op
         end
     end
@@ -62,7 +71,7 @@ module Make (E : Elems.S) : Fset_intf.S = struct
       E.to_array o.elems
     end
     else begin
-      Tm.emit Ev.Cas_retry;
+      Tm.cas_retry site_freeze;
       freeze t
     end
 

@@ -4,6 +4,12 @@ module Make (E : Elems.S) : Fset_intf.WF = struct
   module Tm = Nbhash_telemetry.Global
   module Ev = Nbhash_telemetry.Event
 
+  let site_freeze =
+    Nbhash_telemetry.Site.register ("wf_fset(" ^ E.id ^ ")/freeze")
+
+  let site_invoke =
+    Nbhash_telemetry.Site.register ("wf_fset(" ^ E.id ^ ")/invoke")
+
   let infinity_prio = max_int
 
   type op = {
@@ -70,7 +76,7 @@ module Make (E : Elems.S) : Fset_intf.WF = struct
     | Empty ->
       if Atomic.compare_and_set o.slot Empty Frozen then Tm.emit Ev.Freeze
       else begin
-        Tm.emit Ev.Cas_retry;
+        Tm.cas_retry site_freeze;
         do_freeze t
       end
     | Pending _ ->
@@ -102,7 +108,7 @@ module Make (E : Elems.S) : Fset_intf.WF = struct
               true
             end
             else begin
-              Tm.emit_arg Ev.Cas_retry (op_key op);
+              Tm.cas_retry site_invoke;
               invoke t op
             end
           | Frozen -> op_is_done op

@@ -1,6 +1,12 @@
 module Atomic = Nbhash_util.Nb_atomic
 module Policy = Nbhash.Policy
 module Sweep = Nbhash.Sweep
+module Tm = Nbhash_telemetry.Global
+
+(* File-scope so every Make instantiation shares one id per loop. *)
+let site_freeze = Nbhash_telemetry.Site.register "generic_map/freeze_slot"
+let site_stale = Nbhash_telemetry.Site.register "generic_map/stale_bucket"
+let site_update = Nbhash_telemetry.Site.register "generic_map/update"
 
 module Make (K : Hashtbl.HashedType) = struct
   type 'v bslot = Uninit | Node of { pairs : (K.t * 'v) array; ok : bool }
@@ -102,7 +108,10 @@ module Make (K : Hashtbl.HashedType) = struct
       else if
         Atomic.compare_and_set slot cur (Node { pairs = n.pairs; ok = false })
       then n.pairs
-      else freeze_slot slot
+      else begin
+        Tm.cas_retry site_freeze;
+        freeze_slot slot
+      end
 
   let slot_pairs slot =
     match Atomic.get slot with Uninit -> assert false | Node n -> n.pairs
@@ -179,7 +188,10 @@ module Make (K : Hashtbl.HashedType) = struct
       init_bucket hn i;
       with_bucket t k hk step
     | Node n as cur ->
-      if not n.ok then with_bucket t k hk step
+      if not n.ok then begin
+        Tm.cas_retry site_stale;
+        with_bucket t k hk step
+      end
       else begin
         let report, replacement = step n.pairs in
         match replacement with
@@ -187,7 +199,10 @@ module Make (K : Hashtbl.HashedType) = struct
         | Some pairs ->
           if Atomic.compare_and_set slot cur (Node { pairs; ok = true }) then
             report
-          else with_bucket t k hk step
+          else begin
+            Tm.cas_retry site_update;
+            with_bucket t k hk step
+          end
       end
 
   let slot_pair_count slot =

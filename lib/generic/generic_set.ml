@@ -1,6 +1,13 @@
 module Atomic = Nbhash_util.Nb_atomic
 module Policy = Nbhash.Policy
 module Sweep = Nbhash.Sweep
+module Tm = Nbhash_telemetry.Global
+
+(* File-scope so every Make instantiation shares one id per loop. *)
+let site_freeze = Nbhash_telemetry.Site.register "generic_set/freeze_slot"
+let site_stale = Nbhash_telemetry.Site.register "generic_set/stale_bucket"
+let site_add = Nbhash_telemetry.Site.register "generic_set/add"
+let site_del = Nbhash_telemetry.Site.register "generic_set/del"
 
 module Make (K : Hashtbl.HashedType) = struct
   type bslot = Uninit | Node of { elems : K.t array; ok : bool }
@@ -89,7 +96,10 @@ module Make (K : Hashtbl.HashedType) = struct
       else if
         Atomic.compare_and_set slot cur (Node { elems = n.elems; ok = false })
       then n.elems
-      else freeze_slot slot
+      else begin
+        Tm.cas_retry site_freeze;
+        freeze_slot slot
+      end
 
   let slot_elems slot =
     match Atomic.get slot with Uninit -> assert false | Node n -> n.elems
@@ -167,7 +177,10 @@ module Make (K : Hashtbl.HashedType) = struct
       init_bucket hn i;
       run_op t kind k h
     | Node n as cur ->
-      if not n.ok then run_op t kind k h
+      if not n.ok then begin
+        Tm.cas_retry site_stale;
+        run_op t kind k h
+      end
       else begin
         let present = mem_elems n.elems k in
         match kind with
@@ -177,14 +190,20 @@ module Make (K : Hashtbl.HashedType) = struct
             Atomic.compare_and_set slot cur
               (Node { elems = add_elems n.elems k; ok = true })
           then true
-          else run_op t kind k h
+          else begin
+            Tm.cas_retry site_add;
+            run_op t kind k h
+          end
         | Del ->
           if not present then false
           else if
             Atomic.compare_and_set slot cur
               (Node { elems = remove_elems n.elems k; ok = true })
           then true
-          else run_op t kind k h
+          else begin
+            Tm.cas_retry site_del;
+            run_op t kind k h
+          end
       end
 
   let slot_size slot =

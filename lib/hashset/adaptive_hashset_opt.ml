@@ -4,6 +4,9 @@ module Intset = Nbhash_fset.Intset
 module Tm = Nbhash_telemetry.Global
 module Ev = Nbhash_telemetry.Event
 
+let site_freeze = Nbhash_telemetry.Site.register "adaptive_opt/freeze"
+let site_invoke = Nbhash_telemetry.Site.register "adaptive_opt/invoke"
+
 let infinity_prio = max_int
 
 type wop = {
@@ -142,7 +145,7 @@ let rec do_freeze slot =
         n.elems
       end
       else begin
-        Tm.emit Ev.Cas_retry;
+        Tm.cas_retry site_freeze;
         do_freeze slot
       end
     | Pending _ ->
@@ -176,7 +179,7 @@ let rec invoke hn i op =
               true
             end
             else begin
-              Tm.emit Ev.Cas_retry;
+              Tm.cas_retry site_invoke;
               invoke hn i op
             end
           | Frozen -> op_is_done op

@@ -9,6 +9,7 @@ module Make (F : Nbhash_fset.Fset_intf.S) : Hashset_intf.S = struct
   type handle = { table : t; local : Policy.Trigger.local }
 
   let name = "LF" ^ String.capitalize_ascii F.id
+  let site_apply = Nbhash_telemetry.Site.register ("lf_hashset(" ^ F.id ^ ")/apply")
   let seed = Atomic.make 0x5eed
 
   let create ?(policy = Policy.default) ?max_threads () =
@@ -34,7 +35,7 @@ module Make (F : Nbhash_fset.Fset_intf.S) : Hashset_intf.S = struct
     if F.invoke b op then F.get_response op
     else begin
       (* The bucket froze under us: a resize is being absorbed. *)
-      Tm.emit_arg Ev.Cas_retry k;
+      Tm.cas_retry site_apply;
       apply t op k
     end
 

@@ -4,6 +4,11 @@ module Intset = Nbhash_fset.Intset
 module Tm = Nbhash_telemetry.Global
 module Ev = Nbhash_telemetry.Event
 
+let site_freeze = Nbhash_telemetry.Site.register "lf_opt/freeze_slot"
+let site_stale = Nbhash_telemetry.Site.register "lf_opt/stale_bucket"
+let site_add = Nbhash_telemetry.Site.register "lf_opt/add"
+let site_del = Nbhash_telemetry.Site.register "lf_opt/del"
+
 (* A bucket slot is directly the FSetNode: no FSet wrapper object.
    [Uninit] plays the role of the nil bucket pointer; the inline
    record is the immutable (elems, ok) node. *)
@@ -78,7 +83,7 @@ let rec freeze_slot slot =
       n.elems
     end
     else begin
-      Tm.emit Ev.Cas_retry;
+      Tm.cas_retry site_freeze;
       freeze_slot slot
     end
 
@@ -166,7 +171,7 @@ let rec run_op t kind k =
     run_op t kind k
   | Node n as cur ->
     if not n.ok then begin
-      Tm.emit_arg Ev.Cas_retry k;
+      Tm.cas_retry site_stale;
       run_op t kind k
     end
     else begin
@@ -179,7 +184,7 @@ let rec run_op t kind k =
             (Node { elems = Intset.add n.elems k; ok = true })
         then true
         else begin
-          Tm.emit_arg Ev.Cas_retry k;
+          Tm.cas_retry site_add;
           run_op t kind k
         end
       | Nbhash_fset.Fset_intf.Rem ->
@@ -189,7 +194,7 @@ let rec run_op t kind k =
             (Node { elems = Intset.remove n.elems k; ok = true })
         then true
         else begin
-          Tm.emit_arg Ev.Cas_retry k;
+          Tm.cas_retry site_del;
           run_op t kind k
         end
     end

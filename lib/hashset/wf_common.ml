@@ -21,6 +21,14 @@ module Make (F : Nbhash_fset.Fset_intf.WF) = struct
     slots : F.op Atomic.t array;
     counter : int Atomic.t;
     next_tid : int Atomic.t;
+    announce_writes : int array;
+        (* per-slot announce counts: each slot has one writer (its
+           tid), so plain increments are exact; the profiler samples
+           these as a packed lane source — 8 announce slots share one
+           cache line, the textbook false-sharing candidate *)
+    announce_src : Nbhash_telemetry.Profile.source;
+        (* keeps the weakly-registered source alive as long as the
+           table is reachable *)
   }
 
   type handle = {
@@ -35,11 +43,16 @@ module Make (F : Nbhash_fset.Fset_intf.WF) = struct
 
   let create_t policy max_threads =
     if max_threads < 1 then invalid_arg "max_threads < 1";
+    let announce_writes = Array.make max_threads 0 in
     {
       core = Core.create policy;
       slots = Array.init max_threads (fun _ -> Atomic.make (inert_op ()));
       counter = Atomic.make 0;
       next_tid = Atomic.make 0;
+      announce_writes;
+      announce_src =
+        Nbhash_telemetry.Profile.register_source ~name:"wf_announce"
+          ~lanes_per_line:8 (fun () -> Array.copy announce_writes);
     }
 
   let register table =
@@ -114,6 +127,10 @@ module Make (F : Nbhash_fset.Fset_intf.WF) = struct
     let prio = Atomic.fetch_and_add t.counter 1 in
     let myop = F.make_op kind k ~prio in
     Atomic.set t.slots.(h.tid) myop;
+    t.announce_writes.(h.tid) <- t.announce_writes.(h.tid) + 1
+    [@nbhash.plain_ok
+      "single-writer per slot (the owning tid); the false-sharing sampler \
+       tolerates torn reads like every profiler lane"];
     help_up_to t ~prio;
     let resp = F.get_response myop in
     Tm.record_span Ev.Slowpath_span ~start_ns;

@@ -67,6 +67,7 @@ type t = {
   conns : Unix.file_descr list Atomic.t;
   slowlog : Slowlog.t;
   slow_route : Tm.Metrics_server.route_registration;
+  profile_view : Tm.Profile.view_registration;
   mutable domains : unit Domain.t list
       [@nbhash.plain_ok
         "written once by the booting thread before any worker can observe \
@@ -323,6 +324,27 @@ let start ?(config = default_config) () =
     Tm.Metrics_server.register_route ~path:"/slow.json" (fun () ->
         (200, "application/json", Slowlog.to_json slowlog))
   in
+  (* The per-shard table views published under /profile.json: the
+     contention report names the hot site, these say which shard's
+     table (size, skew, migration state) it was hot in. *)
+  let profile_view =
+    Tm.Profile.register_view ~name:"kv_shards" (fun () ->
+        let shard i =
+          let v = Backend.inspect_shard backend i in
+          Printf.sprintf
+            "{\"shard\":%d,\"buckets\":%d,\"cardinal\":%d,\"load_factor\":%s,\"max_depth\":%d,\"frozen_buckets\":%d,\"migrating\":%b}"
+            i v.Nbhash.Hashset_intf.buckets v.Nbhash.Hashset_intf.cardinal
+            (Nbhash_telemetry.Snapshot.json_float
+               v.Nbhash.Hashset_intf.load_factor)
+            v.Nbhash.Hashset_intf.max_depth
+            v.Nbhash.Hashset_intf.frozen_buckets
+            v.Nbhash.Hashset_intf.migrating
+        in
+        "["
+        ^ String.concat ","
+            (List.init (Backend.shard_count backend) shard)
+        ^ "]")
+  in
   let t =
     {
       config;
@@ -334,6 +356,7 @@ let start ?(config = default_config) () =
       conns = Atomic.make [];
       slowlog;
       slow_route;
+      profile_view;
       domains = [];
     }
   in
@@ -351,6 +374,7 @@ let wait t =
   t.domains <- [];
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   Tm.Metrics_server.unregister_route t.slow_route;
+  Tm.Profile.unregister_view t.profile_view;
   Slowlog.close t.slowlog;
   Backend.close t.backend
 

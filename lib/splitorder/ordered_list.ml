@@ -1,4 +1,11 @@
 module Atomic = Nbhash_util.Nb_atomic
+module Tm = Nbhash_telemetry.Global
+
+(* Retry sites: both the split-ordered table and Michael's hash set
+   run their CAS loops in this file, so these ids cover both. *)
+let site_unlink = Nbhash_telemetry.Site.register "ordered_list/unlink"
+let site_insert = Nbhash_telemetry.Site.register "ordered_list/insert"
+let site_remove = Nbhash_telemetry.Site.register "ordered_list/remove"
 
 type node = { key : int; next : link Atomic.t }
 
@@ -29,7 +36,10 @@ let rec find start key =
         let unlinked = Live succ in
         if Atomic.compare_and_set prev.next plink unlinked then
           scan prev unlinked
-        else find start key
+        else begin
+          Tm.cas_retry site_unlink;
+          find start key
+        end
       | Live _ as clink ->
         if c.key >= key then (prev, plink, Some c) else scan c clink)
   in
@@ -46,7 +56,10 @@ let rec insert_node start n =
   | Some _ | None ->
     Atomic.set n.next (Live curr);
     if Atomic.compare_and_set prev.next plink (Live (Some n)) then (true, n)
-    else insert_node start n
+    else begin
+      Tm.cas_retry site_insert;
+      insert_node start n
+    end
 
 let insert ~start key =
   assert (start.key < key);
@@ -68,7 +81,10 @@ let rec remove ~start key =
         ignore (find start key);
         true
       end
-      else remove ~start key)
+      else begin
+        Tm.cas_retry site_remove;
+        remove ~start key
+      end)
   | Some _ | None -> false
 
 (* Pure traversal: skip past smaller keys following raw successor

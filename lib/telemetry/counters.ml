@@ -46,4 +46,15 @@ let read t ev =
 (* Totals indexed by [Event.index]. *)
 let totals t = Array.of_list (List.map (read t) Event.all)
 
+(* Per-shard write totals, for the false-sharing detector: each lane
+   is one domain subset's cache line, so the per-lane rate deltas are
+   exactly the line write rates the ping-pong score needs. *)
+let lane_totals t =
+  Array.init (t.shard_mask + 1) (fun shard ->
+      let acc = ref 0 in
+      for i = 0 to Event.count - 1 do
+        acc := !acc + Atomic.get t.slots.((shard * stride) + i)
+      done;
+      !acc)
+
 let reset t = Array.iter (fun slot -> Atomic.set slot 0) t.slots

@@ -16,6 +16,7 @@ let is_recording () = Probe.is_recording (Atomic.get current)
 
 let[@inline] emit ev = Probe.emit (Atomic.get current) ev
 let[@inline] emit_arg ev arg = Probe.emit_arg (Atomic.get current) ev arg
+let[@inline] cas_retry site = Probe.cas_retry (Atomic.get current) site
 let[@inline] add ev n = Probe.add (Atomic.get current) ev n
 let[@inline] now_ns () = Probe.now_ns (Atomic.get current)
 let[@inline] span_begin s = Probe.span_begin (Atomic.get current) s

@@ -8,6 +8,9 @@
                      is stalled, 503 with the stall list otherwise
      /trace.json     Chrome trace-event JSON of the active flight
                      recorder; 404 when tracing is off
+     /profile.json   ranked contended sites, false-sharing scores and
+                     registered table views from the active profiler;
+                     404 when profiling is off
 
    Deliberately minimal: GET only, one request per connection
    (Connection: close), no keep-alive, no TLS — the intended client is
@@ -206,7 +209,30 @@ let handle_request ~watchdog fd target =
       (Snapshot.to_json ~meta:(Meta.json ())
          ~families:(Labeled.families_json ())
          ~trace:(trace_block ())
+         ~profile:(Profile.snapshot_block ())
          (Probe.snapshot (Global.get ())))
+  | "/profile.json" -> (
+    match Profile.active () with
+    | Some p ->
+      (* The probe's counter lanes join the detector's sources here
+         (Profile cannot see Global), and the independently-counted
+         legacy total rides along for the sum cross-check. *)
+      let legacy_cas_retry, extra_sources =
+        match Global.get () with
+        | Probe.Noop -> (-1, [])
+        | Probe.Recording r ->
+          ( Counters.read r.Probe.counters Event.Cas_retry,
+            [
+              ( "probe_counters",
+                1,
+                fun () -> Counters.lane_totals r.Probe.counters );
+            ] )
+      in
+      write_response fd ~code:200 ~content_type:"application/json"
+        (Profile.json_body ~legacy_cas_retry ~extra_sources p)
+    | None ->
+      write_response fd ~code:404 ~content_type:"text/plain"
+        "profiling is not active\n")
   | "/health" ->
     let code, body = health_body watchdog in
     write_response fd ~code ~content_type:"text/plain" body

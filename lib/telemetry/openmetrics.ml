@@ -24,6 +24,17 @@ let hbk_last = Array.make (Event.span_count * histogram_buckets) 0
 let trc_base = Array.make 2 0
 let trc_last = Array.make 2 0
 
+(* Per-site profiler accumulators: retry counts, retry-gap histogram
+   buckets, and allocation words, indexed by [Site.t]. The profiler is
+   reset in lockstep with the probe by the bench harness, so the same
+   fold-on-reset treatment keeps the labeled series monotone. *)
+let site_ctr_base = Array.make Site.max_sites 0
+let site_ctr_last = Array.make Site.max_sites 0
+let site_gap_base = Array.make (Site.max_sites * histogram_buckets) 0
+let site_gap_last = Array.make (Site.max_sites * histogram_buckets) 0
+let site_aw_base = Array.make Site.max_sites 0
+let site_aw_last = Array.make Site.max_sites 0
+
 let monotone base last i raw =
   if raw < last.(i) then base.(i) <- base.(i) + last.(i);
   last.(i) <- raw;
@@ -40,7 +51,13 @@ let reset_accumulators () =
   Array.fill hbk_base 0 (Array.length hbk_base) 0;
   Array.fill hbk_last 0 (Array.length hbk_last) 0;
   Array.fill trc_base 0 2 0;
-  Array.fill trc_last 0 2 0
+  Array.fill trc_last 0 2 0;
+  Array.fill site_ctr_base 0 Site.max_sites 0;
+  Array.fill site_ctr_last 0 Site.max_sites 0;
+  Array.fill site_gap_base 0 (Array.length site_gap_base) 0;
+  Array.fill site_gap_last 0 (Array.length site_gap_last) 0;
+  Array.fill site_aw_base 0 Site.max_sites 0;
+  Array.fill site_aw_last 0 Site.max_sites 0
 [@@nbhash.plain_ok
   "test-only reset, called while no scraper is running; the accumulators \
    are owned by the single scraping thread"]
@@ -133,8 +150,97 @@ let render_counters b probe =
       Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" family);
       Buffer.add_string b
         (Printf.sprintf "# HELP %s %s\n" family (escape_help (counter_help ev)));
-      Buffer.add_string b (Printf.sprintf "%s_total %d\n" family v))
+      Buffer.add_string b (Printf.sprintf "%s_total %d\n" family v);
+      (* The site-labeled breakdown of the retry counter lives inside
+         the same family block: the unlabeled series is the legacy
+         total, the labeled ones the profiler's attribution of it. *)
+      if ev = Event.Cas_retry then
+        List.iter
+          (fun (id, name) ->
+            let raw =
+              match Profile.active () with
+              | None -> site_ctr_last.(id)  (* no profiler: hold the reading *)
+              | Some p -> Profile.retries p id
+            in
+            let v = monotone site_ctr_base site_ctr_last id raw in
+            if v > 0 then
+              Buffer.add_string b
+                (Printf.sprintf "%s_total{site=\"%s\"} %d\n" family
+                   (escape_label_value name) v))
+          (Site.all ()))
     Event.all
+
+(* Per-site retry-gap histograms and allocation words, the profiler's
+   labeled families. Rendered whether or not a profiler is installed:
+   the accumulators hold the last readings, so series never vanish or
+   regress mid-scrape-history. Sites that never recorded anything are
+   skipped, so the document only grows when sites become active. *)
+let render_profile b =
+  let p = Profile.active () in
+  let gap_family = "nbhash_retry_ns" in
+  Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" gap_family);
+  Buffer.add_string b
+    (Printf.sprintf
+       "# HELP %s Gap between consecutive CAS retries at one site on one domain, nanoseconds\n"
+       gap_family);
+  List.iter
+    (fun (id, name) ->
+      let raw =
+        match p with
+        | None ->
+          Array.init histogram_buckets (fun i ->
+              site_gap_last.((id * histogram_buckets) + i))
+        | Some p -> Profile.gap_counts p id
+      in
+      let counts =
+        Array.init histogram_buckets (fun i ->
+            let j = (id * histogram_buckets) + i in
+            monotone site_gap_base site_gap_last j raw.(i))
+      in
+      let last_nonempty = ref (-1) in
+      Array.iteri (fun i c -> if c > 0 then last_nonempty := i) counts;
+      if !last_nonempty >= 0 then begin
+        let site = escape_label_value name in
+        let cum = ref 0 in
+        let sum = ref 0. in
+        for i = 0 to !last_nonempty do
+          cum := !cum + counts.(i);
+          sum := !sum +. (float_of_int counts.(i) *. Histogram.representative i);
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{site=\"%s\",le=\"%s\"} %d\n" gap_family
+               site
+               (number (Float.ldexp 1. (i + 1)))
+               !cum)
+        done;
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket{site=\"%s\",le=\"+Inf\"} %d\n" gap_family
+             site !cum);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum{site=\"%s\"} %s\n" gap_family site
+             (number !sum));
+        Buffer.add_string b
+          (Printf.sprintf "%s_count{site=\"%s\"} %d\n" gap_family site !cum)
+      end)
+    (Site.all ());
+  let aw_family = "nbhash_alloc_words" in
+  Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" aw_family);
+  Buffer.add_string b
+    (Printf.sprintf
+       "# HELP %s Estimated words allocated near a site (Gc.Memprof sampling)\n"
+       aw_family);
+  List.iter
+    (fun (id, name) ->
+      let raw =
+        match p with
+        | None -> site_aw_last.(id)
+        | Some p -> Profile.alloc_words p id
+      in
+      let v = monotone site_aw_base site_aw_last id raw in
+      if v > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "%s_total{site=\"%s\"} %d\n" aw_family
+             (escape_label_value name) v))
+    (Site.all ())
 
 let render_histograms b probe =
   List.iter
@@ -298,6 +404,7 @@ let render () =
   let probe = Global.get () in
   render_counters b probe;
   render_histograms b probe;
+  render_profile b;
   render_labeled b;
   render_trace_drops b;
   render_gauges b;

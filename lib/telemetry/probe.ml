@@ -40,6 +40,16 @@ let[@inline] emit_arg p ev arg =
   Trace.instant ev arg;
   match p with Noop -> () | Recording r -> Counters.incr r.counters ev
 
+(* The site-attributed retry emission every CAS loop uses: the trace
+   record's argument is the [Site.t] (so trace args decode uniformly
+   as site ids), and the profiler — when installed — attributes the
+   retry to that site independently of the probe. Disabled path:
+   three loads, three branches, no allocation. *)
+let[@inline] cas_retry p site =
+  Trace.instant Event.Cas_retry site;
+  Profile.on_retry site;
+  match p with Noop -> () | Recording r -> Counters.incr r.counters Event.Cas_retry
+
 let[@inline] add p ev n =
   Trace.instant ev n;
   match p with Noop -> () | Recording r -> Counters.add r.counters ev n

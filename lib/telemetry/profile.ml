@@ -1,0 +1,468 @@
+(* The contention & allocation profiler. Three instruments share one
+   ambient switch, mirroring [Trace]'s install/uninstall discipline so
+   each can be flipped independently of the probe:
+
+   - per-site retry accounting: every [Event.Cas_retry] emission
+     carries a [Site.t]; when a profiler is installed the site's
+     sharded counter is bumped and the *gap* since the same domain's
+     previous retry at that site is observed into a per-site log2
+     histogram. Short gaps mean a loop spinning against live
+     contention; long gaps mean isolated collisions. This measures
+     retry pressure without threading loop-begin timestamps through
+     every call site.
+
+   - a false-sharing detector: any per-lane array written on hot paths
+     (the probe's sharded counters, the profiler's own retry lanes,
+     the wait-free tables' announce slots) can be sampled twice and
+     scored per 64-byte cache line: score = write rate x (excess
+     writers on the line). A line written fast by one domain is
+     hot-but-private (score 0); the same rate split across writers is
+     the ping-pong the ROADMAP's hot-path sweep needs to find.
+
+   - allocation attribution via [Gc.Memprof] sampling: sampled
+     allocations are credited to the allocating domain's most recent
+     retry site (the "nearest site" heuristic — exact scoping would
+     need per-op brackets on every fast path). Off by default;
+     OCaml 5.1's multicore runtime rejects [Gc.Memprof.start] at run
+     time, which [start_alloc] reports as [`Unavailable] rather than
+     raising, so the same build serves 5.1 (counts stay zero) and 5.2
+     (statmemprof returned).
+
+   The disabled path of the hot hook is one [Atomic.Real] load and a
+   branch — no allocation, Gc-asserted by the test suite exactly like
+   the trace and probe disabled paths. Reads ([Atomic.Real], plain
+   stores into the gap/lane arrays) bypass the model-check shim for
+   the same reason [Trace] does: the profiler is observation, not
+   algorithm, and must not add scheduling points to the CAS loops it
+   watches. *)
+
+module Atomic = Nbhash_util.Nb_atomic
+
+let max_sites = Site.max_sites
+
+(* Retry-lane geometry: like [Counters], one cache-line-aligned stride
+   of [max_sites] slots per shard ([max_sites] is already a multiple
+   of 8 words). Gap timestamps and current-site tags are plain arrays
+   indexed by a wider lane mask, like [Helptime]'s lanes. *)
+let default_shards = Counters.default_shards
+let ts_lanes = 64
+let seen_slots = 256
+
+type alloc_state = Alloc_off | Alloc_sampling of float | Alloc_unavailable of string
+
+type t = {
+  retries : int Atomic.t array;  (* shards x max_sites, strided *)
+  shard_mask : int;
+  gaps : Histogram.t array;  (* per site; observations are retry-rate bounded *)
+  last_ns : int array;  (* ts_lanes x max_sites: last retry timestamp *)
+  cur_site : int array;  (* ts_lanes: the domain's most recent retry site *)
+  seen : int array;  (* domain-id capture for the writer estimator; 0 = empty *)
+  alloc_words : int Atomic.t array;  (* per site, estimated words *)
+  alloc_samples : int Atomic.t array;  (* per site, raw Memprof samples *)
+  mutable alloc : alloc_state
+      [@nbhash.plain_ok
+        "written only by the single orchestrating thread that starts/stops \
+         Memprof sampling (Memprof itself rejects concurrent start); readers \
+         render a stale state at worst"];
+}
+
+let create ?(shards = default_shards) () =
+  if not (Nbhash_util.Bits.is_pow2 shards) then
+    invalid_arg "Profile.create: shards must be a power of two";
+  {
+    retries = Array.init (shards * max_sites) (fun _ -> Atomic.make 0);
+    shard_mask = shards - 1;
+    gaps = Array.init max_sites (fun _ -> Histogram.make ~shards:1 ());
+    last_ns = Array.make (ts_lanes * max_sites) 0;
+    cur_site = Array.make ts_lanes 0;
+    seen = Array.make seen_slots 0;
+    alloc_words = Array.init max_sites (fun _ -> Atomic.make 0);
+    alloc_samples = Array.init max_sites (fun _ -> Atomic.make 0);
+    alloc = Alloc_off;
+  }
+
+let current : t option Atomic.t = Atomic.make None
+
+let install t = Atomic.Real.set current (Some t)
+let uninstall () = Atomic.Real.set current None
+let active () = Atomic.Real.get current
+let is_active () = Atomic.Real.get current <> None
+
+let record p site =
+  let site = if site >= 0 && site < max_sites then site else Site.unknown in
+  let d = (Domain.self () :> int) in
+  ignore
+    (Atomic.fetch_and_add
+       (Array.unsafe_get p.retries
+          (((d land p.shard_mask) * max_sites) + site))
+       1);
+  let lane = d land (ts_lanes - 1) in
+  let now = Nbhash_util.Clock.now_ns () in
+  let idx = (lane * max_sites) + site in
+  let prev = p.last_ns.(idx) in
+  if prev > 0 && now > prev then Histogram.observe p.gaps.(site) (now - prev);
+  p.last_ns.(idx) <- now;
+  p.cur_site.(lane) <- site;
+  p.seen.(d land (seen_slots - 1)) <- d + 1
+[@@nbhash.plain_ok
+  "profiler lanes are racy by design, like the trace rings: gap timestamps \
+   and site tags are per-domain-lane scratch whose readers tolerate torn \
+   values; the counters themselves are atomic"]
+
+let[@inline] on_retry site =
+  match Atomic.Real.get current with None -> () | Some p -> record p site
+
+(* --- Reads (snapshot/scrape side) --- *)
+
+let retries p site =
+  let total = ref 0 in
+  for shard = 0 to p.shard_mask do
+    total := !total + Atomic.get p.retries.((shard * max_sites) + site)
+  done;
+  !total
+
+let total_retries p =
+  Array.fold_left (fun acc slot -> acc + Atomic.get slot) 0 p.retries
+
+let gap_counts p site = Histogram.counts p.gaps.(site)
+let gap_summary p site = Histogram.summary p.gaps.(site)
+let alloc_words p site = Atomic.get p.alloc_words.(site)
+let alloc_samples p site = Atomic.get p.alloc_samples.(site)
+
+(* Per-shard write totals of the retry lanes — the profiler's own
+   array doubles as a detector source. *)
+let lane_totals p =
+  Array.init (p.shard_mask + 1) (fun shard ->
+      let acc = ref 0 in
+      for site = 0 to max_sites - 1 do
+        acc := !acc + Atomic.get p.retries.((shard * max_sites) + site)
+      done;
+      !acc)
+
+(* Distinct-domain estimate per lane of an [lanes]-lane sharded array,
+   from the domains the retry hook has seen: domain d writes lane
+   [d land (lanes-1)]. *)
+let writers_by_lane p ~lanes =
+  let w = Array.make lanes 0 in
+  Array.iter
+    (fun v -> if v > 0 then w.((v - 1) land (lanes - 1)) <- w.((v - 1) land (lanes - 1)) + 1)
+    p.seen;
+  w
+[@@nbhash.plain_ok
+  "w is a function-local scratch array consumed before escaping; p.seen is \
+   only read here"]
+
+let reset p =
+  Array.iter (fun slot -> Atomic.set slot 0) p.retries;
+  Array.iter Histogram.reset p.gaps;
+  Array.fill p.last_ns 0 (Array.length p.last_ns) 0;
+  Array.fill p.cur_site 0 ts_lanes 0;
+  Array.iter (fun slot -> Atomic.set slot 0) p.alloc_words;
+  Array.iter (fun slot -> Atomic.set slot 0) p.alloc_samples
+[@@nbhash.plain_ok
+  "reset runs between bench sections while workers are quiescent, the same \
+   contract as Counters.reset and Trace.clear"]
+
+(* --- Allocation attribution (Gc.Memprof) --- *)
+
+let alloc_state p = p.alloc
+
+(* Credit one sampled allocation to the allocating domain's most
+   recent retry site. Estimated words per sample = n_samples /
+   sampling_rate: each sample stands for ~1/rate allocated words,
+   which keeps the exported number an unbiased estimate of words
+   allocated near the site regardless of block sizes. *)
+let attribute p ~rate (a : Gc.Memprof.allocation) =
+  let d = (Domain.self () :> int) in
+  let site = p.cur_site.(d land (ts_lanes - 1)) in
+  let site = if site >= 0 && site < max_sites then site else Site.unknown in
+  let words =
+    int_of_float (float_of_int a.Gc.Memprof.n_samples /. rate +. 0.5)
+  in
+  ignore (Atomic.fetch_and_add p.alloc_samples.(site) a.Gc.Memprof.n_samples);
+  ignore (Atomic.fetch_and_add p.alloc_words.(site) words)
+
+let start_alloc ?(sampling_rate = 1e-4) p =
+  match p.alloc with
+  | Alloc_sampling _ -> Ok ()
+  | Alloc_unavailable reason -> Error reason
+  | Alloc_off -> (
+    let tracker =
+      {
+        Gc.Memprof.null_tracker with
+        alloc_minor =
+          (fun a ->
+            attribute p ~rate:sampling_rate a;
+            None);
+        alloc_major =
+          (fun a ->
+            attribute p ~rate:sampling_rate a;
+            None);
+      }
+    in
+    (* 5.1 multicore raises Failure here; 5.2 (statmemprof restored)
+       returns a handle on success. [ignore] absorbs both the 5.1
+       [unit] and the 5.2 [Gc.Memprof.t] return type. *)
+    try
+      ignore (Gc.Memprof.start ~sampling_rate ~callstack_size:0 tracker);
+      p.alloc <- Alloc_sampling sampling_rate;
+      Ok ()
+    with Failure reason ->
+      p.alloc <- Alloc_unavailable reason;
+      Error reason)
+
+let stop_alloc p =
+  match p.alloc with
+  | Alloc_sampling _ ->
+    (try Gc.Memprof.stop () with Failure _ -> ());
+    p.alloc <- Alloc_off
+  | Alloc_off | Alloc_unavailable _ -> ()
+
+(* --- False-sharing detector --- *)
+
+(* A lane source is any array written on hot paths whose per-lane
+   cumulative write counts can be read cheaply. [lanes_per_line] says
+   how many consecutive lanes share one 64-byte line: 1 for arrays
+   already strided a line apart (sharded counters — their ping-pong
+   risk is domain collisions on one lane), 8 for word-packed arrays
+   (announce slots). Registered sources are held weakly so a
+   discarded table does not pin its announce counters forever; the
+   caller keeps the returned handle alive for as long as the array
+   matters. *)
+
+type source = {
+  src_name : string;
+  lanes_per_line : int;
+  read : unit -> int array;  (* cumulative per-lane write counts *)
+}
+
+let sources : source Weak.t list Atomic.t = Atomic.make []
+
+let rec sources_swap f =
+  let cur = Atomic.get sources in
+  if not (Atomic.compare_and_set sources cur (f cur)) then sources_swap f
+
+let register_source ~name ~lanes_per_line read =
+  if lanes_per_line < 1 then
+    invalid_arg "Profile.register_source: lanes_per_line < 1";
+  let src = { src_name = name; lanes_per_line; read } in
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some src);
+  sources_swap (fun l -> w :: l);
+  src
+
+let live_sources () =
+  let live = List.filter_map (fun w -> Weak.get w 0) (Atomic.get sources) in
+  (* Prune emptied weak cells opportunistically. *)
+  sources_swap (List.filter (fun w -> Weak.check w 0));
+  List.rev live
+
+type line_score = {
+  line : int;
+  writes_per_s : float;
+  writers : int;
+  score : float;  (* writes_per_s x excess writers; 0 = private line *)
+}
+
+type source_report = {
+  source : string;
+  lines : line_score list;  (* active lines only *)
+  max_score : float;
+}
+
+(* Score one source from two cumulative samples [dt_ns] apart.
+   [writers] (per-lane distinct-writer counts, for strided arrays)
+   defaults to "one writer per active lane", the right reading for
+   packed single-writer-per-slot arrays. *)
+let score_source ~name ~lanes_per_line ?writers ~dt_ns c0 c1 =
+  let lanes = min (Array.length c0) (Array.length c1) in
+  let dt_s = float_of_int (max 1 dt_ns) /. 1e9 in
+  let nlines = (lanes + lanes_per_line - 1) / lanes_per_line in
+  let out = ref [] in
+  let max_score = ref 0. in
+  for line = 0 to nlines - 1 do
+    let lo = line * lanes_per_line in
+    let hi = min lanes (lo + lanes_per_line) in
+    let delta = ref 0 in
+    let w = ref 0 in
+    for i = lo to hi - 1 do
+      let d = max 0 (c1.(i) - c0.(i)) in
+      delta := !delta + d;
+      match writers with
+      | Some ws -> if ws.(i) > 0 then w := !w + ws.(i)
+      | None -> if d > 0 then incr w
+    done;
+    if !delta > 0 then begin
+      let rate = float_of_int !delta /. dt_s in
+      let score = rate *. float_of_int (max 0 (!w - 1)) in
+      if score > !max_score then max_score := score;
+      out := { line; writes_per_s = rate; writers = !w; score } :: !out
+    end
+  done;
+  { source = name; lines = List.rev !out; max_score = !max_score }
+
+(* Sample every source twice, [interval_s] apart, and score them.
+   [extra] lets the caller add one-shot sources it can see but this
+   module cannot (the ambient probe's counter lanes, whose module
+   depends on nothing here). *)
+let false_sharing ?(interval_s = 0.02)
+    ?(extra : (string * int * (unit -> int array)) list = []) p =
+  let srcs =
+    ("profile_retries", 1, fun () -> lane_totals p)
+    :: extra
+    @ List.map
+        (fun s -> (s.src_name, s.lanes_per_line, s.read))
+        (live_sources ())
+  in
+  let t0 = Nbhash_util.Clock.now_ns () in
+  let s0 = List.map (fun (_, _, read) -> read ()) srcs in
+  Unix.sleepf interval_s;
+  let s1 = List.map (fun (_, _, read) -> read ()) srcs in
+  let dt_ns = Nbhash_util.Clock.now_ns () - t0 in
+  List.map2
+    (fun (name, lanes_per_line, _) (c0, c1) ->
+      let writers =
+        (* Strided sharded arrays are written by every domain hashing
+           to the lane; packed arrays are single-writer per slot. *)
+        if lanes_per_line = 1 then
+          Some (writers_by_lane p ~lanes:(Array.length c0))
+        else None
+      in
+      score_source ~name ~lanes_per_line ?writers ~dt_ns c0 c1)
+    srcs
+    (List.combine s0 s1)
+
+(* --- Registered table views (/profile.json "views" block) --- *)
+
+(* Subsystems that can describe their shard layout (the KV server's
+   per-shard backends) publish a ready-made JSON thunk here, the same
+   shape as Metrics_server's route registry. *)
+
+type view = { view_id : int; view_name : string; render : unit -> string }
+type view_registration = int
+
+let view_next = Atomic.make 0
+let views : view list Atomic.t = Atomic.make []
+
+let rec views_swap f =
+  let cur = Atomic.get views in
+  if not (Atomic.compare_and_set views cur (f cur)) then views_swap f
+
+let register_view ~name render =
+  let id = Atomic.fetch_and_add view_next 1 in
+  views_swap (fun l -> { view_id = id; view_name = name; render } :: l);
+  (id : view_registration)
+
+let unregister_view (id : view_registration) =
+  views_swap (List.filter (fun v -> v.view_id <> id))
+
+(* --- JSON --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Finite-by-construction floats (rates over clamped positive dt);
+   belt-and-braces clamp so the document never carries NaN/Inf, which
+   the CI shape validator rejects. *)
+let json_float x =
+  let x = if Float.is_finite x then x else 0. in
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let site_json p (id, name) =
+  let gap =
+    match gap_summary p id with
+    | None -> "null"
+    | Some s -> Snapshot.json_summary s
+  in
+  Printf.sprintf
+    "{\"id\":%d,\"name\":\"%s\",\"retries\":%d,\"gap_ns\":%s,\"alloc_words\":%d,\"alloc_samples\":%d}"
+    id (json_escape name) (retries p id) gap (alloc_words p id)
+    (alloc_samples p id)
+
+let sites_json p =
+  let ranked =
+    List.sort
+      (fun (a, _) (b, _) -> compare (retries p b, a) (retries p a, b))
+      (Site.all ())
+  in
+  "[" ^ String.concat "," (List.map (site_json p) ranked) ^ "]"
+
+let report_json r =
+  let line l =
+    Printf.sprintf
+      "{\"line\":%d,\"writes_per_s\":%s,\"writers\":%d,\"ping_pong\":%s}"
+      l.line (json_float l.writes_per_s) l.writers (json_float l.score)
+  in
+  Printf.sprintf
+    "{\"source\":\"%s\",\"max_ping_pong\":%s,\"lines\":[%s]}"
+    (json_escape r.source) (json_float r.max_score)
+    (String.concat "," (List.map line r.lines))
+
+let memprof_json p =
+  match p.alloc with
+  | Alloc_off -> "{\"state\":\"off\"}"
+  | Alloc_sampling rate ->
+    Printf.sprintf "{\"state\":\"sampling\",\"sampling_rate\":%s}"
+      (json_float rate)
+  | Alloc_unavailable reason ->
+    Printf.sprintf "{\"state\":\"unavailable\",\"reason\":\"%s\"}"
+      (json_escape reason)
+
+let views_json () =
+  let entries =
+    List.rev_map
+      (fun v ->
+        let body = try v.render () with _ -> "null" in
+        Printf.sprintf "{\"name\":\"%s\",\"view\":%s}"
+          (json_escape v.view_name) body)
+      (Atomic.get views)
+  in
+  "[" ^ String.concat "," entries ^ "]"
+
+(* The /profile.json document. [legacy_cas_retry] is the ambient
+   probe's independently-counted total, passed in by the caller (this
+   module cannot see [Global]); -1 when no probe is recording. The CI
+   validator checks it equals the per-site sum at quiescence — the
+   cross-check that every emission site carries a real site id. *)
+let json_body ?(legacy_cas_retry = -1)
+    ?(extra_sources : (string * int * (unit -> int array)) list = [])
+    ?interval_s p =
+  let reports = false_sharing ?interval_s ~extra:extra_sources p in
+  Printf.sprintf
+    "{\"active\":true,\"total_retries\":%d,\"legacy_cas_retry\":%d,\"sites\":%s,\"false_sharing\":[%s],\"memprof\":%s,\"views\":%s}"
+    (total_retries p) legacy_cas_retry (sites_json p)
+    (String.concat "," (List.map report_json reports))
+    (memprof_json p) (views_json ())
+
+(* Compact per-site block for /snapshot.json: nonzero sites only. *)
+let snapshot_block () =
+  match active () with
+  | None -> "{\"active\":false}"
+  | Some p ->
+    let sites =
+      List.filter_map
+        (fun (id, name) ->
+          let n = retries p id in
+          if n = 0 && alloc_words p id = 0 then None
+          else
+            Some
+              (Printf.sprintf
+                 "{\"id\":%d,\"name\":\"%s\",\"retries\":%d,\"alloc_words\":%d}"
+                 id (json_escape name) n (alloc_words p id)))
+        (Site.all ())
+    in
+    Printf.sprintf
+      "{\"active\":true,\"total_retries\":%d,\"sites\":[%s]}"
+      (total_retries p)
+      (String.concat "," sites)

@@ -57,11 +57,12 @@ let json_summary (s : Nbhash_util.Stats.summary) =
 (* [meta], when given, is a ready-made JSON object (see Meta.json) and
    leads the document so scraped snapshots carry the same provenance
    block as bench artifacts. [families] (the labeled-histogram block,
-   see Labeled.families_json) and [trace] (the flight-recorder loss
-   block, see Metrics_server) are likewise pre-rendered JSON values
-   appended after the spans. Omitting everything keeps the historical
-   two-key shape exactly. *)
-let to_json ?meta ?families ?trace t =
+   see Labeled.families_json), [trace] (the flight-recorder loss
+   block, see Metrics_server) and [profile] (the per-site contention
+   block, see Profile.snapshot_block) are likewise pre-rendered JSON
+   values appended after the spans. Omitting everything keeps the
+   historical two-key shape exactly. *)
+let to_json ?meta ?families ?trace ?profile t =
   let counters =
     String.concat ","
       (List.map
@@ -87,5 +88,8 @@ let to_json ?meta ?families ?trace t =
   (match trace with
   | None -> ()
   | Some tr -> Buffer.add_string b (Printf.sprintf ",\"trace\":%s" tr));
+  (match profile with
+  | None -> ()
+  | Some p -> Buffer.add_string b (Printf.sprintf ",\"profile\":%s" p));
   Buffer.add_char b '}';
   Buffer.contents b

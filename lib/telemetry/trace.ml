@@ -319,9 +319,37 @@ let to_chrome_string t =
       Hashtbl.add stacks dom s;
       s
   in
+  (* Per-site retry counter tracks: every Cas_retry instant carries
+     its [Site.t] as the record argument, so the export can rebuild a
+     running total per site and emit it as a Perfetto "C" (counter)
+     event — one track per contended site, stepping up at each retry.
+     Rendered on pid 0 like everything else; the track name carries
+     the site so Perfetto groups the series. *)
+  let site_totals : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let emit_counter r =
+    let cell =
+      match Hashtbl.find_opt site_totals r.arg with
+      | Some c -> c
+      | None ->
+        let c = ref 0 in
+        Hashtbl.add site_totals r.arg c;
+        c
+    in
+    incr cell;
+    emit
+      ~name:(Printf.sprintf "cas_retry %s" (Site.name r.arg))
+      ~ph:"C" ~tid:r.domain ~ts_us:(us r.ts_ns)
+      ~args:[ ("retries", string_of_int !cell) ]
+      ()
+  in
   Array.iter
     (fun r ->
       match (r.phase, r.point) with
+      | Instant, Counter Event.Cas_retry ->
+        emit ~name:(point_name r.point) ~ph:"i" ~tid:r.domain ~ts_us:(us r.ts_ns)
+          ~args:[ ("site", string_of_int r.arg) ]
+          ();
+        emit_counter r
       | Instant, _ ->
         emit ~name:(point_name r.point) ~ph:"i" ~tid:r.domain ~ts_us:(us r.ts_ns)
           ~args:[ ("arg", string_of_int r.arg) ]

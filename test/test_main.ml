@@ -9,7 +9,7 @@ let () =
    @ Test_ulist.suite @ Test_extend.suite @ Test_linearizability.suite
    @ Test_targeted.suite
    @ Test_workload.suite @ Test_telemetry.suite @ Test_json.suite
-   @ Test_trace.suite @ Test_churn.suite
+   @ Test_trace.suite @ Test_profile.suite @ Test_churn.suite
    @ Test_inspect.suite @ Test_openmetrics.suite
    @ Test_protocol.suite @ Test_server.suite
    @ Test_lint.suite @ Test_analyze.suite)

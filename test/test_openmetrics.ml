@@ -314,7 +314,8 @@ let test_endpoint () =
             | Ok doc ->
               Alcotest.(check (option (list string)))
                 "snapshot top-level keys"
-                (Some [ "meta"; "counters"; "spans"; "families"; "trace" ])
+                (Some
+                   [ "meta"; "counters"; "spans"; "families"; "trace"; "profile" ])
                 (Json.keys doc);
               Alcotest.(check (option (list string)))
                 "meta keys"
